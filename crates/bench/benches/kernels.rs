@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the numeric kernels that dominate training time:
+//! GEMM, im2col convolution (forward and backward) and max pooling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stsl_tensor::init::rng_from_seed;
+use stsl_tensor::ops::conv::{conv2d_backward, conv2d_forward, ConvSpec};
+use stsl_tensor::ops::pool::maxpool2d_forward;
+use stsl_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128, 256] {
+        let mut rng = rng_from_seed(0);
+        let a = Tensor::randn([n, n], &mut rng);
+        let b = Tensor::randn([n, n], &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_forward");
+    // The paper CNN's first layer: 3->16 channels on 32x32 (the heaviest
+    // per-pixel stage), batch 32.
+    for &(name, ic, oc, side) in &[
+        ("L1_3to16_32px", 3usize, 16usize, 32usize),
+        ("L2_16to32_16px", 16, 32, 16),
+    ] {
+        let mut rng = rng_from_seed(1);
+        let x = Tensor::randn([32, ic, side, side], &mut rng);
+        let w = Tensor::he_normal([oc, ic, 3, 3], ic * 9, &mut rng);
+        let b = Tensor::zeros([oc]);
+        group.bench_function(name, |bench| {
+            bench.iter(|| conv2d_forward(&x, &w, &b, ConvSpec::same(3)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_backward");
+    let mut rng = rng_from_seed(2);
+    let spec = ConvSpec::same(3);
+    let x = Tensor::randn([32, 3, 32, 32], &mut rng);
+    let w = Tensor::he_normal([16, 3, 3, 3], 27, &mut rng);
+    let b = Tensor::zeros([16]);
+    let fwd = conv2d_forward(&x, &w, &b, spec).unwrap();
+    let dout = Tensor::randn([32, 16, 32, 32], &mut rng);
+    group.bench_function("L1_3to16_32px", |bench| {
+        bench.iter(|| conv2d_backward(&dout, &fwd.cols, &w, (32, 3, 32, 32), spec))
+    });
+    group.finish();
+}
+
+fn bench_maxpool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxpool2d");
+    let mut rng = rng_from_seed(3);
+    let x = Tensor::randn([32, 16, 32, 32], &mut rng);
+    let spec = ConvSpec {
+        kh: 2,
+        kw: 2,
+        stride: 2,
+        pad: 0,
+    };
+    group.bench_function("16ch_32px_batch32", |bench| {
+        bench.iter(|| maxpool2d_forward(&x, spec))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv_forward, bench_conv_backward, bench_maxpool
+}
+criterion_main!(benches);

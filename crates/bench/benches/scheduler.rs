@@ -1,0 +1,104 @@
+//! Benchmarks of the server arrival queue (per scheduling policy) and the
+//! underlying discrete-event machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stsl_simnet::{
+    Direction, EndSystemId, EventQueue, SimDuration, SimNetwork, SimTime, StarTopology,
+};
+use stsl_split::protocol::{ActivationMsg, BatchId};
+use stsl_split::{ArrivalQueue, SchedulingPolicy};
+use stsl_tensor::Tensor;
+
+fn msg(from: usize, batch: u32) -> ActivationMsg {
+    ActivationMsg {
+        from: EndSystemId(from),
+        batch_id: BatchId { epoch: 0, batch },
+        activations: Tensor::zeros([1, 1, 1, 1]),
+        targets: vec![0],
+    }
+}
+
+fn bench_arrival_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arrival_queue_push_pop_256");
+    let policies = [
+        ("fifo", SchedulingPolicy::Fifo),
+        ("round_robin", SchedulingPolicy::RoundRobin),
+        (
+            "staleness",
+            SchedulingPolicy::StalenessDrop {
+                max_age: SimDuration::from_millis(50),
+            },
+        ),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &policy,
+            |bench, &policy| {
+                bench.iter(|| {
+                    let mut q = ArrivalQueue::new(policy, 8);
+                    for i in 0..256u32 {
+                        q.push(SimTime::from_micros(i as u64), msg(i as usize % 8, i));
+                    }
+                    let mut served = 0;
+                    while q.pop(SimTime::from_millis(1)).0.is_some() {
+                        served += 1;
+                    }
+                    served
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_4096", |bench| {
+        bench.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..4096u64 {
+                // Pseudo-random times via a multiplicative hash.
+                q.schedule(
+                    SimTime::from_micros(i.wrapping_mul(2654435761) % 100_000),
+                    i,
+                );
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            sum
+        })
+    });
+}
+
+fn bench_simnetwork(c: &mut Criterion) {
+    c.bench_function("simnetwork_send_recv_1024", |bench| {
+        let topology = StarTopology::latency_gradient(8, 1.0, 100.0, 100.0);
+        bench.iter(|| {
+            let mut net: SimNetwork<u64> = SimNetwork::new(topology.clone(), 7);
+            for i in 0..1024u64 {
+                net.send(
+                    EndSystemId((i % 8) as usize),
+                    Direction::Uplink,
+                    4096,
+                    SimTime::ZERO,
+                    i,
+                );
+            }
+            let mut n = 0;
+            while net.recv().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_arrival_queue,
+    bench_event_queue,
+    bench_simnetwork
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! End-to-end training-step benchmarks: one split round (client forward →
+//! server forward/backward/step → client backward/step) at each cut depth,
+//! plus the protocol round-trip for activation/gradient messages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stsl_data::SyntheticCifar;
+use stsl_split::protocol::{ActivationMsg, BatchId, GradientMsg};
+use stsl_split::{CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
+use stsl_tensor::init::rng_from_seed;
+use stsl_tensor::Tensor;
+
+fn bench_split_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_round_tiny16");
+    group.sample_size(20);
+    let train = SyntheticCifar::new(0)
+        .difficulty(0.1)
+        .generate_sized(64, 16);
+    for cut in 0..=3usize {
+        let cfg = SplitConfig::tiny(CutPoint(cut), 1).batch_size(16).epochs(1);
+        let mut trainer = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("cut", cut), &cut, |bench, _| {
+            bench.iter(|| trainer.run_epoch(0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_arch_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("split_round_paper32");
+    group.sample_size(10);
+    let train = SyntheticCifar::new(1)
+        .difficulty(0.1)
+        .generate_sized(32, 32);
+    let cfg = SplitConfig::new(CutPoint(1), 1)
+        .arch(CnnArch::paper())
+        .batch_size(32)
+        .epochs(1);
+    let mut trainer = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
+    group.bench_function("cut1_batch32", |bench| bench.iter(|| trainer.run_epoch(0)));
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    let mut rng = rng_from_seed(2);
+    let msg = ActivationMsg {
+        from: stsl_simnet_id(),
+        batch_id: BatchId { epoch: 0, batch: 0 },
+        activations: Tensor::randn([32, 16, 16, 16], &mut rng),
+        targets: (0..32).collect(),
+    };
+    group.bench_function("activation_encode", |bench| bench.iter(|| msg.encode()));
+    let encoded = msg.encode();
+    group.bench_function("activation_decode", |bench| {
+        bench.iter(|| ActivationMsg::decode(encoded.clone()))
+    });
+    let grad = GradientMsg {
+        to: stsl_simnet_id(),
+        batch_id: BatchId { epoch: 0, batch: 0 },
+        grad: Tensor::randn([32, 16, 16, 16], &mut rng),
+    };
+    group.bench_function("gradient_encode", |bench| bench.iter(|| grad.encode()));
+    group.finish();
+}
+
+fn stsl_simnet_id() -> stsl_simnet::EndSystemId {
+    stsl_simnet::EndSystemId(0)
+}
+
+criterion_group!(
+    benches,
+    bench_split_round,
+    bench_paper_arch_round,
+    bench_protocol
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! **E6** — communication cost: split learning vs FedAvg vs raw upload.
+//!
+//! The paper's §I motivation is that raw medical data may not be moved.
+//! This experiment compares what each approach ships per training epoch
+//! (or FedAvg round): raw-image upload (the centralized strawman), smashed
+//! activations at each cut depth (split learning; shrinks as pooling
+//! deepens), and full-model weights twice per round (FedAvg).
+//!
+//! ```text
+//! cargo run -p stsl-bench --release --bin comm_cost
+//! cargo run -p stsl-bench --release --bin comm_cost -- --quick
+//! ```
+
+use serde::Serialize;
+use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_split::{baselines::FedAvgTrainer, CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
+
+#[derive(Serialize)]
+struct Row {
+    scheme: String,
+    uplink_mb_per_epoch: f64,
+    downlink_mb_per_epoch: f64,
+    total_mb_per_epoch: f64,
+    raw_data_leaves_site: bool,
+}
+
+#[derive(Serialize)]
+struct CommCost {
+    data_source: String,
+    end_systems: usize,
+    samples: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let (arch, side, train_n) = if quick {
+        (CnnArch::tiny(), 16, 200)
+    } else {
+        (CnnArch::paper(), 32, args.get_usize("samples", 1_000))
+    };
+    let clients = args.get_usize("clients", 4);
+    let seed = args.get_u64("seed", 17);
+    let max_cut = args.get_usize("max-cut", (arch.blocks() - 1).min(4)).max(1);
+
+    let difficulty = args.get_f32("difficulty", 0.12);
+    let (train, test, source) = load_data(train_n, 50, side, seed, difficulty);
+    println!(
+        "E6 communication cost — {} data, {} samples, {} end-systems (1 epoch / 1 round each)",
+        source,
+        train.len(),
+        clients
+    );
+
+    let mut rows = Vec::new();
+
+    // Strawman: centralize by uploading raw pixels once (amortized as one
+    // "epoch" here; in reality it is once, but it also forfeits privacy).
+    let (c, h, w) = train.image_dims();
+    let raw_mb = (train.len() * c * h * w * 4) as f64 / 1e6;
+    rows.push(Row {
+        scheme: "raw upload (centralized)".into(),
+        uplink_mb_per_epoch: raw_mb,
+        downlink_mb_per_epoch: 0.0,
+        total_mb_per_epoch: raw_mb,
+        raw_data_leaves_site: true,
+    });
+
+    // Split learning at each cut.
+    for cut in 1..=max_cut {
+        let cfg = SplitConfig::new(CutPoint(cut), clients)
+            .arch(arch.clone())
+            .epochs(1)
+            .seed(seed);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
+        t.run_epoch(0);
+        let comm = t.comm();
+        rows.push(Row {
+            scheme: format!("split, cut {} ({})", cut, CutPoint(cut).label()),
+            uplink_mb_per_epoch: comm.uplink_bytes as f64 / 1e6,
+            downlink_mb_per_epoch: comm.downlink_bytes as f64 / 1e6,
+            total_mb_per_epoch: comm.total_bytes() as f64 / 1e6,
+            raw_data_leaves_site: false,
+        });
+        let _ = test; // evaluation not needed for byte accounting
+    }
+
+    // FedAvg: one round, one local epoch.
+    let cfg = SplitConfig::new(CutPoint(0), clients)
+        .arch(arch.clone())
+        .epochs(1)
+        .seed(seed);
+    let mut fed = FedAvgTrainer::new(cfg, &train, 1).expect("valid config");
+    fed.train(1, &test);
+    let fed_up = 0.0f64.max(clients as f64 * fed.model_bytes() as f64 / 1e6);
+    rows.push(Row {
+        scheme: "fedavg (1 round, E=1)".into(),
+        uplink_mb_per_epoch: fed_up,
+        downlink_mb_per_epoch: fed_up,
+        total_mb_per_epoch: 2.0 * fed_up,
+        raw_data_leaves_site: false,
+    });
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.2}", r.uplink_mb_per_epoch),
+                format!("{:.2}", r.downlink_mb_per_epoch),
+                format!("{:.2}", r.total_mb_per_epoch),
+                if r.raw_data_leaves_site {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "scheme",
+                "uplink MB/epoch",
+                "downlink MB/epoch",
+                "total MB/epoch",
+                "raw data leaves?"
+            ],
+            &table
+        )
+    );
+
+    write_json(
+        "comm",
+        &CommCost {
+            data_source: source.to_string(),
+            end_systems: clients,
+            samples: train.len(),
+            rows,
+        },
+    );
+}

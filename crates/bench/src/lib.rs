@@ -1,0 +1,241 @@
+//! Shared plumbing for the experiment binaries: a tiny argument parser,
+//! dataset construction (real CIFAR-10 if present, synthetic otherwise),
+//! markdown table rendering and JSON result persistence.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; see DESIGN.md §4 for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use stsl_data::{cifar, ImageDataset, SyntheticCifar};
+
+/// Minimal `--key value` / `--flag` argument parser.
+///
+/// # Examples
+///
+/// ```
+/// use stsl_bench::Args;
+///
+/// let args = Args::parse_from(vec!["--epochs".into(), "5".into(), "--quick".into()]);
+/// assert_eq!(args.get_usize("epochs", 10), 5);
+/// assert!(args.get_flag("quick"));
+/// assert_eq!(args.get_f32("lr", 0.01), 0.01);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping `argv[0]`).
+    pub fn parse() -> Self {
+        Args::parse_from(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit token list.
+    pub fn parse_from(tokens: Vec<String>) -> Self {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let Some(name) = tok.strip_prefix("--") else {
+                eprintln!("ignoring stray argument {:?}", tok);
+                i += 1;
+                continue;
+            };
+            if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                args.values.insert(name.to_string(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                args.flags.push(name.to_string());
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// Integer option with default.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{} expects an integer", name))
+            })
+            .unwrap_or(default)
+    }
+
+    /// Float option with default.
+    pub fn get_f32(&self, name: &str, default: f32) -> f32 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{} expects a number", name))
+            })
+            .unwrap_or(default)
+    }
+
+    /// u64 option with default.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{} expects an integer", name))
+            })
+            .unwrap_or(default)
+    }
+
+    /// String option with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Boolean flag.
+    pub fn get_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Where experiment outputs land (`results/` at the workspace root, or
+/// `$STSL_RESULTS`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("STSL_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("create results directory");
+    path
+}
+
+/// Serializes `value` as pretty JSON into `results/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{}.json", name));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write result file");
+    println!("\nwrote {}", path.display());
+}
+
+/// The training/evaluation data for an experiment: real CIFAR-10 when the
+/// binary directory is available (point `STSL_CIFAR_DIR` or pass a path),
+/// the synthetic generator otherwise (see DESIGN.md §2).
+///
+/// `difficulty` is the synthetic generator's pixel-noise level (ignored
+/// for real CIFAR-10); the Table I experiments use ~0.35 so the accuracy
+/// ceiling sits near the paper's ~71 % rather than saturating.
+pub fn load_data(
+    train_n: usize,
+    test_n: usize,
+    side: usize,
+    seed: u64,
+    difficulty: f32,
+) -> (ImageDataset, ImageDataset, &'static str) {
+    if side == 32 {
+        if let Ok(dir) = std::env::var("STSL_CIFAR_DIR") {
+            if cifar::is_available(&dir) {
+                let (train, test) = cifar::load_dir(Path::new(&dir)).expect("load cifar");
+                let train_idx: Vec<usize> = (0..train.len().min(train_n)).collect();
+                let test_idx: Vec<usize> = (0..test.len().min(test_n)).collect();
+                return (train.subset(&train_idx), test.subset(&test_idx), "cifar10");
+            }
+        }
+    }
+    let train = SyntheticCifar::new(seed)
+        .difficulty(difficulty)
+        .generate_sized(train_n, side);
+    let test = SyntheticCifar::new(seed ^ 0xDEAD_BEEF)
+        .difficulty(difficulty)
+        .generate_sized(test_n, side);
+    (train, test, "synthetic")
+}
+
+/// Renders a markdown table with padded columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    out.push_str(&fmt_row(&sep));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let a = Args::parse_from(vec![
+            "--epochs".into(),
+            "3".into(),
+            "--quick".into(),
+            "--lr".into(),
+            "0.5".into(),
+        ]);
+        assert_eq!(a.get_usize("epochs", 1), 3);
+        assert_eq!(a.get_f32("lr", 0.0), 0.5);
+        assert!(a.get_flag("quick"));
+        assert!(!a.get_flag("full"));
+        assert_eq!(a.get_str("mode", "default"), "default");
+    }
+
+    #[test]
+    fn args_negative_like_tokens() {
+        let a = Args::parse_from(vec!["--seed".into(), "42".into(), "--verbose".into()]);
+        assert_eq!(a.get_u64("seed", 0), 42);
+        assert!(a.get_flag("verbose"));
+    }
+
+    #[test]
+    fn synthetic_data_fallback() {
+        let (train, test, source) = load_data(20, 10, 16, 0, 0.1);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(source, "synthetic");
+    }
+
+    #[test]
+    fn table_renders_with_padding() {
+        let table = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+}

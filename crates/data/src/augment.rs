@@ -1,0 +1,130 @@
+//! Image augmentation (training-time regularization).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use stsl_tensor::Tensor;
+
+/// Horizontally mirrors an `[n, c, h, w]` batch.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn hflip(batch: &Tensor) -> Tensor {
+    assert_eq!(batch.rank(), 4, "hflip expects NCHW, got {}", batch.shape());
+    let (n, c, h, w) = (batch.dim(0), batch.dim(1), batch.dim(2), batch.dim(3));
+    let src = batch.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    for i in 0..n * c {
+        for y in 0..h {
+            let row = i * h * w + y * w;
+            for x in 0..w {
+                out[row + x] = src[row + (w - 1 - x)];
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, h, w])
+}
+
+/// Zero-pads each side by `pad` then crops back to the original size at a
+/// random offset — the classic CIFAR "pad-and-crop" augmentation.
+///
+/// # Panics
+///
+/// Panics if the input is not rank 4.
+pub fn random_crop(batch: &Tensor, pad: usize, rng: &mut StdRng) -> Tensor {
+    assert_eq!(
+        batch.rank(),
+        4,
+        "random_crop expects NCHW, got {}",
+        batch.shape()
+    );
+    if pad == 0 {
+        return batch.clone();
+    }
+    let (n, c, h, w) = (batch.dim(0), batch.dim(1), batch.dim(2), batch.dim(3));
+    let src = batch.as_slice();
+    let mut out = vec![0.0f32; src.len()];
+    for ni in 0..n {
+        // One offset per image (not per channel).
+        let dy = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+        let dx = rng.gen_range(0..=2 * pad) as isize - pad as isize;
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for y in 0..h {
+                let sy = y as isize + dy;
+                if sy < 0 || sy >= h as isize {
+                    continue;
+                }
+                for x in 0..w {
+                    let sx = x as isize + dx;
+                    if sx < 0 || sx >= w as isize {
+                        continue;
+                    }
+                    out[plane + y * w + x] = src[plane + sy as usize * w + sx as usize];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, h, w])
+}
+
+/// Applies standard training augmentation: 50 % horizontal flip (per
+/// batch) followed by pad-2 random crop.
+pub fn standard_augment(batch: &Tensor, rng: &mut StdRng) -> Tensor {
+    let flipped = if rng.gen::<bool>() {
+        hflip(batch)
+    } else {
+        batch.clone()
+    };
+    random_crop(&flipped, 2, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_tensor::init::rng_from_seed;
+
+    #[test]
+    fn hflip_mirrors_columns() {
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 1, 4]);
+        assert_eq!(hflip(&b).as_slice(), &[4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn hflip_is_involution() {
+        let b = Tensor::randn([2, 3, 4, 4], &mut rng_from_seed(0));
+        assert_eq!(hflip(&hflip(&b)), b);
+    }
+
+    #[test]
+    fn crop_with_zero_pad_is_identity() {
+        let b = Tensor::randn([1, 1, 4, 4], &mut rng_from_seed(1));
+        assert_eq!(random_crop(&b, 0, &mut rng_from_seed(2)), b);
+    }
+
+    #[test]
+    fn crop_preserves_shape_and_is_deterministic() {
+        let b = Tensor::randn([2, 3, 8, 8], &mut rng_from_seed(3));
+        let a1 = random_crop(&b, 2, &mut rng_from_seed(4));
+        let a2 = random_crop(&b, 2, &mut rng_from_seed(4));
+        assert_eq!(a1.dims(), b.dims());
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn crop_shifts_content() {
+        // A single bright pixel moves by exactly the sampled offset or
+        // falls off the edge; either way the total mass never grows.
+        let mut b = Tensor::zeros([1, 1, 8, 8]);
+        b.set(&[0, 0, 4, 4], 1.0);
+        let cropped = random_crop(&b, 2, &mut rng_from_seed(5));
+        assert!(cropped.sum() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn standard_augment_preserves_shape() {
+        let b = Tensor::randn([4, 3, 32, 32], &mut rng_from_seed(6));
+        let a = standard_augment(&b, &mut rng_from_seed(7));
+        assert_eq!(a.dims(), b.dims());
+    }
+}

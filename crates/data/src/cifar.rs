@@ -1,0 +1,241 @@
+//! Reader for the CIFAR-10 binary format.
+//!
+//! The official `cifar-10-binary.tar.gz` unpacks into files of 10 000
+//! records, each `1 + 3072` bytes: one label byte followed by a 32×32 image
+//! stored channel-major (R plane, G plane, B plane) — already the `CHW`
+//! order this workspace uses. When the real dataset directory is present
+//! the experiment binaries use it; otherwise they fall back to
+//! [`crate::SyntheticCifar`] (see DESIGN.md §2).
+
+use crate::ImageDataset;
+use std::error::Error as StdError;
+use std::fmt;
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+use stsl_tensor::Tensor;
+
+/// Bytes per CIFAR-10 record: 1 label + 3×32×32 pixels.
+pub const RECORD_BYTES: usize = 1 + 3072;
+
+/// The canonical CIFAR-10 class names.
+pub const CIFAR10_CLASSES: [&str; 10] = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+];
+
+/// Error loading CIFAR-10 binaries.
+#[derive(Debug)]
+pub enum CifarError {
+    /// An I/O error reading a batch file.
+    Io(std::io::Error),
+    /// A batch file's size is not a multiple of the record size.
+    MalformedFile {
+        /// Offending file path (display form).
+        path: String,
+        /// File length in bytes.
+        len: usize,
+    },
+    /// A record's label byte exceeded 9.
+    BadLabel {
+        /// The label byte encountered.
+        label: u8,
+    },
+}
+
+impl fmt::Display for CifarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CifarError::Io(e) => write!(f, "i/o error reading cifar batch: {}", e),
+            CifarError::MalformedFile { path, len } => {
+                write!(
+                    f,
+                    "cifar batch {} has size {} not divisible by {}",
+                    path, len, RECORD_BYTES
+                )
+            }
+            CifarError::BadLabel { label } => write!(f, "cifar label byte {} exceeds 9", label),
+        }
+    }
+}
+
+impl StdError for CifarError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            CifarError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CifarError {
+    fn from(e: std::io::Error) -> Self {
+        CifarError::Io(e)
+    }
+}
+
+/// Parses raw CIFAR-10 record bytes into a dataset (pixels scaled to
+/// `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`CifarError::MalformedFile`] (with path `"<memory>"`) if the
+/// byte count is not a whole number of records, or [`CifarError::BadLabel`]
+/// on an invalid label byte.
+pub fn parse_records(bytes: &[u8]) -> Result<ImageDataset, CifarError> {
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(CifarError::MalformedFile {
+            path: "<memory>".into(),
+            len: bytes.len(),
+        });
+    }
+    let n = bytes.len() / RECORD_BYTES;
+    let mut data = Vec::with_capacity(n * 3072);
+    let mut labels = Vec::with_capacity(n);
+    for rec in bytes.chunks_exact(RECORD_BYTES) {
+        let label = rec[0];
+        if label > 9 {
+            return Err(CifarError::BadLabel { label });
+        }
+        labels.push(label as usize);
+        data.extend(rec[1..].iter().map(|&b| b as f32 / 255.0));
+    }
+    Ok(ImageDataset::new(
+        Tensor::from_vec(data, [n, 3, 32, 32]),
+        labels,
+        10,
+    ))
+}
+
+/// Loads one binary batch file (e.g. `data_batch_1.bin`).
+///
+/// # Errors
+///
+/// Propagates I/O failures and malformed content as [`CifarError`].
+pub fn load_batch(path: impl AsRef<Path>) -> Result<ImageDataset, CifarError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    if !bytes.len().is_multiple_of(RECORD_BYTES) {
+        return Err(CifarError::MalformedFile {
+            path: path.display().to_string(),
+            len: bytes.len(),
+        });
+    }
+    parse_records(&bytes)
+}
+
+/// Loads the five training batches plus the test batch from a directory
+/// containing the standard CIFAR-10 binary layout. Returns
+/// `(train, test)`.
+///
+/// # Errors
+///
+/// Fails if any of the six canonical files is missing or malformed.
+pub fn load_dir(dir: impl AsRef<Path>) -> Result<(ImageDataset, ImageDataset), CifarError> {
+    let dir = dir.as_ref();
+    let mut parts = Vec::new();
+    for i in 1..=5 {
+        parts.push(load_batch(dir.join(format!("data_batch_{}.bin", i)))?);
+    }
+    let train = merge(&parts);
+    let test = load_batch(dir.join("test_batch.bin"))?;
+    Ok((train, test))
+}
+
+/// Checks whether `dir` looks like an unpacked CIFAR-10 binary directory.
+pub fn is_available(dir: impl AsRef<Path>) -> bool {
+    let dir = dir.as_ref();
+    (1..=5).all(|i| dir.join(format!("data_batch_{}.bin", i)).is_file())
+        && dir.join("test_batch.bin").is_file()
+}
+
+fn merge(parts: &[ImageDataset]) -> ImageDataset {
+    let images = Tensor::concat0(&parts.iter().map(|p| p.images().clone()).collect::<Vec<_>>());
+    let labels = parts
+        .iter()
+        .flat_map(|p| p.labels().iter().copied())
+        .collect();
+    ImageDataset::new(images, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_record(label: u8, fill: u8) -> Vec<u8> {
+        let mut rec = vec![label];
+        rec.extend(std::iter::repeat_n(fill, 3072));
+        rec
+    }
+
+    #[test]
+    fn parse_single_record() {
+        let bytes = fake_record(3, 255);
+        let d = parse_records(&bytes).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.label(0), 3);
+        assert_eq!(d.image(0).max(), 1.0);
+        assert_eq!(d.image(0).min(), 1.0);
+    }
+
+    #[test]
+    fn parse_multiple_records() {
+        let mut bytes = fake_record(0, 0);
+        bytes.extend(fake_record(9, 128));
+        let d = parse_records(&bytes).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[0, 9]);
+        assert!((d.image(1).mean() - 128.0 / 255.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parse_rejects_truncated_input() {
+        let bytes = vec![0u8; RECORD_BYTES - 1];
+        assert!(matches!(
+            parse_records(&bytes),
+            Err(CifarError::MalformedFile { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_label() {
+        let bytes = fake_record(10, 0);
+        assert!(matches!(
+            parse_records(&bytes),
+            Err(CifarError::BadLabel { label: 10 })
+        ));
+    }
+
+    #[test]
+    fn load_batch_roundtrip_via_tempfile() {
+        let dir = std::env::temp_dir().join("stsl_cifar_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data_batch_1.bin");
+        let mut bytes = fake_record(1, 10);
+        bytes.extend(fake_record(2, 20));
+        fs::write(&path, &bytes).unwrap();
+        let d = load_batch(&path).unwrap();
+        assert_eq!(d.labels(), &[1, 2]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn is_available_false_for_missing_dir() {
+        assert!(!is_available("/nonexistent/cifar"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CifarError::BadLabel { label: 12 };
+        assert!(e.to_string().contains("12"));
+    }
+}

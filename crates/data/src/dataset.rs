@@ -1,0 +1,290 @@
+//! Labeled image datasets.
+
+use rand::seq::SliceRandom;
+use stsl_tensor::init::rng_from_seed;
+use stsl_tensor::Tensor;
+
+/// Per-channel normalization statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Mean per channel.
+    pub mean: Vec<f32>,
+    /// Standard deviation per channel.
+    pub std: Vec<f32>,
+}
+
+/// An in-memory labeled image dataset in `NCHW` layout.
+///
+/// This is the unit that gets partitioned across end-systems: each
+/// end-system receives an `ImageDataset` it never shares (the paper's
+/// privacy premise).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageDataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ImageDataset {
+    /// Creates a dataset from an `[n, c, h, w]` image tensor and `n`
+    /// labels in `0..num_classes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(
+            images.rank(),
+            4,
+            "images must be [n, c, h, w], got {}",
+            images.shape()
+        );
+        assert_eq!(images.dim(0), labels.len(), "one label per image");
+        assert!(num_classes > 0, "need at least one class");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range for {} classes",
+            num_classes
+        );
+        ImageDataset {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Image dimensions `(c, h, w)`.
+    pub fn image_dims(&self) -> (usize, usize, usize) {
+        (self.images.dim(1), self.images.dim(2), self.images.dim(3))
+    }
+
+    /// The full image tensor `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The `i`-th image as `[c, h, w]`.
+    pub fn image(&self, i: usize) -> Tensor {
+        self.images.index_axis0(i)
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Gathers a batch `(images [k, c, h, w], labels)` by sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let (c, h, w) = self.image_dims();
+        let sample = c * h * w;
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "batch index {} out of bounds", i);
+            data.extend_from_slice(&src[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        (Tensor::from_vec(data, [indices.len(), c, h, w]), labels)
+    }
+
+    /// Extracts the sub-dataset at `indices` (cloning samples).
+    pub fn subset(&self, indices: &[usize]) -> ImageDataset {
+        let (images, labels) = self.batch(indices);
+        ImageDataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of samples in the
+    /// train part, shuffled by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < train_fraction < 1.0`.
+    pub fn split(&self, train_fraction: f32, seed: u64) -> (ImageDataset, ImageDataset) {
+        assert!(
+            (0.0..1.0).contains(&train_fraction) && train_fraction > 0.0,
+            "train fraction must be in (0, 1), got {}",
+            train_fraction
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng_from_seed(seed));
+        let cut = ((self.len() as f32) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, self.len().saturating_sub(1).max(1));
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Per-channel mean and standard deviation over all pixels.
+    pub fn channel_stats(&self) -> ChannelStats {
+        let (c, h, w) = self.image_dims();
+        let n = self.len();
+        let plane = h * w;
+        let src = self.images.as_slice();
+        let mut mean = vec![0.0f64; c];
+        let mut sq = vec![0.0f64; c];
+        for i in 0..n {
+            for ci in 0..c {
+                let off = (i * c + ci) * plane;
+                for &v in &src[off..off + plane] {
+                    mean[ci] += v as f64;
+                    sq[ci] += (v as f64) * (v as f64);
+                }
+            }
+        }
+        let count = (n * plane).max(1) as f64;
+        let mut std = vec![0.0f32; c];
+        let mut mean32 = vec![0.0f32; c];
+        for ci in 0..c {
+            let m = mean[ci] / count;
+            mean32[ci] = m as f32;
+            std[ci] = (((sq[ci] / count) - m * m).max(1e-12)).sqrt() as f32;
+        }
+        ChannelStats { mean: mean32, std }
+    }
+
+    /// Returns a normalized copy: `(x - mean) / std` per channel.
+    pub fn normalized(&self, stats: &ChannelStats) -> ImageDataset {
+        let (c, h, w) = self.image_dims();
+        assert_eq!(stats.mean.len(), c, "stats channel count mismatch");
+        let plane = h * w;
+        let mut data = self.images.as_slice().to_vec();
+        for i in 0..self.len() {
+            for ci in 0..c {
+                let off = (i * c + ci) * plane;
+                let (m, s) = (stats.mean[ci], stats.std[ci].max(1e-6));
+                for v in &mut data[off..off + plane] {
+                    *v = (*v - m) / s;
+                }
+            }
+        }
+        ImageDataset {
+            images: Tensor::from_vec(data, [self.len(), c, h, w]),
+            labels: self.labels.clone(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Histogram of labels (length `num_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> ImageDataset {
+        let images = Tensor::from_fn([n, 1, 2, 2], |idx| idx[0] as f32);
+        let labels = (0..n).map(|i| i % 2).collect();
+        ImageDataset::new(images, labels, 2)
+    }
+
+    #[test]
+    fn construction_validates_labels() {
+        let images = Tensor::zeros([2, 1, 2, 2]);
+        let ok = ImageDataset::new(images.clone(), vec![0, 1], 2);
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.image_dims(), (1, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn construction_rejects_bad_labels() {
+        ImageDataset::new(Tensor::zeros([1, 1, 2, 2]), vec![5], 2);
+    }
+
+    #[test]
+    fn batch_gathers_in_order() {
+        let d = toy(5);
+        let (x, y) = d.batch(&[4, 0, 2]);
+        assert_eq!(x.dims(), &[3, 1, 2, 2]);
+        assert_eq!(x.at(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(x.at(&[1, 0, 0, 0]), 0.0);
+        assert_eq!(y, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn subset_preserves_classes() {
+        let d = toy(6);
+        let s = d.subset(&[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[1, 1, 1]);
+        assert_eq!(s.num_classes(), 2);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let d = toy(10);
+        let (train, test) = d.split(0.8, 1);
+        assert_eq!(train.len() + test.len(), 10);
+        assert_eq!(train.len(), 8);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(10);
+        let (a, _) = d.split(0.5, 3);
+        let (b, _) = d.split(0.5, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn channel_stats_of_constant_images() {
+        let images = Tensor::full([3, 2, 2, 2], 5.0);
+        let d = ImageDataset::new(images, vec![0, 0, 0], 1);
+        let stats = d.channel_stats();
+        assert!((stats.mean[0] - 5.0).abs() < 1e-5);
+        assert!(stats.std[0] < 1e-3);
+    }
+
+    #[test]
+    fn normalization_zeroes_mean_and_unitizes_std() {
+        let images = Tensor::from_fn([4, 1, 4, 4], |idx| {
+            (idx[0] * 7 + idx[2] * 3 + idx[3]) as f32
+        });
+        let d = ImageDataset::new(images, vec![0; 4], 1);
+        let stats = d.channel_stats();
+        let n = d.normalized(&stats);
+        let post = n.channel_stats();
+        assert!(post.mean[0].abs() < 1e-4);
+        assert!((post.std[0] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn class_counts_histogram() {
+        let d = toy(7);
+        assert_eq!(d.class_counts(), vec![4, 3]);
+    }
+}

@@ -1,0 +1,125 @@
+//! K-fold cross-validation splits.
+
+use crate::ImageDataset;
+use rand::seq::SliceRandom;
+use stsl_tensor::init::rng_from_seed;
+
+/// A deterministic k-fold plan over a dataset.
+///
+/// Folds are as equal as possible (sizes differ by at most one) and every
+/// sample appears in exactly one validation fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Creates a shuffled k-fold plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the dataset has fewer than `k` samples.
+    pub fn new(dataset: &ImageDataset, k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k-fold needs at least two folds");
+        assert!(
+            dataset.len() >= k,
+            "cannot make {} folds from {} samples",
+            k,
+            dataset.len()
+        );
+        let mut idx: Vec<usize> = (0..dataset.len()).collect();
+        idx.shuffle(&mut rng_from_seed(seed));
+        let mut folds = vec![Vec::new(); k];
+        for (i, sample) in idx.into_iter().enumerate() {
+            folds[i % k].push(sample);
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The `(train, validation)` datasets for `fold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fold >= k`.
+    pub fn split(&self, dataset: &ImageDataset, fold: usize) -> (ImageDataset, ImageDataset) {
+        assert!(
+            fold < self.k(),
+            "fold {} out of range for k = {}",
+            fold,
+            self.k()
+        );
+        let validation = dataset.subset(&self.folds[fold]);
+        let train_idx: Vec<usize> = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != fold)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        (dataset.subset(&train_idx), validation)
+    }
+
+    /// Iterates all `(train, validation)` pairs.
+    pub fn splits<'d>(
+        &'d self,
+        dataset: &'d ImageDataset,
+    ) -> impl Iterator<Item = (ImageDataset, ImageDataset)> + 'd {
+        (0..self.k()).map(move |fold| self.split(dataset, fold))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticCifar;
+
+    fn data(n: usize) -> ImageDataset {
+        SyntheticCifar::new(0).difficulty(0.0).generate_sized(n, 8)
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let d = data(23);
+        let kf = KFold::new(&d, 5, 1);
+        let total: usize = (0..5).map(|f| kf.split(&d, f).1.len()).sum();
+        assert_eq!(total, 23);
+        // Sizes differ by at most one.
+        let sizes: Vec<usize> = (0..5).map(|f| kf.split(&d, f).1.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn train_and_validation_are_disjoint_and_complete() {
+        let d = data(20);
+        let kf = KFold::new(&d, 4, 2);
+        for fold in 0..4 {
+            let (train, val) = kf.split(&d, fold);
+            assert_eq!(train.len() + val.len(), 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = data(15);
+        assert_eq!(KFold::new(&d, 3, 7), KFold::new(&d, 3, 7));
+        assert_ne!(KFold::new(&d, 3, 7), KFold::new(&d, 3, 8));
+    }
+
+    #[test]
+    fn splits_iterator_yields_k_pairs() {
+        let d = data(12);
+        let kf = KFold::new(&d, 3, 0);
+        assert_eq!(kf.splits(&d).count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn k_of_one_rejected() {
+        KFold::new(&data(10), 1, 0);
+    }
+}

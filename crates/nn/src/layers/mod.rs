@@ -1,0 +1,15 @@
+//! Concrete layer implementations.
+
+mod activation;
+mod avgpool2d;
+mod batchnorm;
+mod conv2d;
+mod dense;
+mod maxpool2d;
+
+pub use activation::{Dropout, Flatten, LeakyRelu, Relu, Sigmoid, Tanh};
+pub use avgpool2d::AvgPool2d;
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use dense::Dense;
+pub use maxpool2d::MaxPool2d;

@@ -1,0 +1,47 @@
+//! A minimal, from-scratch neural-network stack on [`stsl_tensor`]:
+//! layers with manual backprop, losses, optimizers and a [`Sequential`]
+//! container that can be **split** into a lower (end-system) and upper
+//! (server) half — the primitive the spatio-temporal split-learning crate
+//! builds on.
+//!
+//! Everything is CPU-only `f32`, deterministic given seeds, and validated
+//! against finite differences (see [`gradcheck`]).
+//!
+//! # Examples
+//!
+//! Train a small classifier:
+//!
+//! ```
+//! use stsl_nn::{Sequential, layers::{Dense, Relu}, loss::SoftmaxCrossEntropy, optim::Sgd};
+//! use stsl_tensor::{Tensor, init::rng_from_seed};
+//!
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(8, 16, 0));
+//! net.push(Relu::new());
+//! net.push(Dense::new(16, 2, 1));
+//!
+//! let x = Tensor::randn([4, 8], &mut rng_from_seed(7));
+//! let y = [0, 1, 0, 1];
+//! let mut opt = Sgd::new(0.05);
+//! let loss = SoftmaxCrossEntropy::new();
+//! let before = net.train_batch(&x, &y, &loss, &mut opt);
+//! for _ in 0..50 { net.train_batch(&x, &y, &loss, &mut opt); }
+//! let after = net.train_batch(&x, &y, &loss, &mut opt);
+//! assert!(after < before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clip;
+pub mod gradcheck;
+mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+mod model;
+pub mod optim;
+pub mod summary;
+
+pub use layer::{Layer, Mode, ParamView};
+pub use model::Sequential;

@@ -1,0 +1,184 @@
+//! Loss functions with analytic gradients.
+
+use stsl_tensor::Tensor;
+
+/// Value and gradient of a loss evaluated on a batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub value: f32,
+    /// Gradient of the mean loss w.r.t. the logits/predictions (same shape
+    /// as the network output).
+    pub grad: Tensor,
+}
+
+/// A differentiable training objective on `[batch, classes]` outputs.
+pub trait Loss: std::fmt::Debug + Send {
+    /// Computes the mean loss and its gradient w.r.t. `logits`.
+    ///
+    /// `targets` are class indices, one per row of `logits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.dim(0)` or a target index is out
+    /// of range.
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> LossOutput;
+}
+
+/// Softmax cross-entropy on raw logits (the standard classification loss;
+/// this is what trains the paper's CIFAR-10 CNN).
+///
+/// Combining the softmax and the negative log-likelihood yields the
+/// numerically pleasant gradient `softmax(logits) - onehot(target)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftmaxCrossEntropy;
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        SoftmaxCrossEntropy
+    }
+}
+
+impl Loss for SoftmaxCrossEntropy {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> LossOutput {
+        assert_eq!(logits.rank(), 2, "cross-entropy expects [batch, classes]");
+        let (n, c) = (logits.dim(0), logits.dim(1));
+        assert_eq!(targets.len(), n, "one target per batch row");
+        let log_probs = logits.log_softmax_rows();
+        let mut value = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < c, "target {} out of range for {} classes", t, c);
+            value -= log_probs.at(&[r, t]);
+        }
+        value /= n as f32;
+        // grad = (softmax - onehot) / n
+        let mut grad = logits.softmax_rows();
+        {
+            let g = grad.as_mut_slice();
+            for (r, &t) in targets.iter().enumerate() {
+                g[r * c + t] -= 1.0;
+            }
+        }
+        grad.scale_inplace(1.0 / n as f32);
+        LossOutput { value, grad }
+    }
+}
+
+/// Mean squared error against one-hot targets (used by ablations and the
+/// inversion attack's regression objective).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Creates the loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+
+    /// MSE between two same-shaped tensors, with gradient w.r.t. `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn dense(&self, pred: &Tensor, target: &Tensor) -> LossOutput {
+        assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+        let n = pred.len().max(1) as f32;
+        let diff = pred - target;
+        let value = diff.sq_norm() / n;
+        let grad = &diff * (2.0 / n);
+        LossOutput { value, grad }
+    }
+}
+
+impl Loss for MseLoss {
+    fn forward(&self, logits: &Tensor, targets: &[usize]) -> LossOutput {
+        assert_eq!(logits.rank(), 2, "mse expects [batch, classes]");
+        let (n, c) = (logits.dim(0), logits.dim(1));
+        assert_eq!(targets.len(), n, "one target per batch row");
+        let onehot = Tensor::from_fn(
+            [n, c],
+            |idx| if targets[idx[0]] == idx[1] { 1.0 } else { 0.0 },
+        );
+        self.dense(logits, &onehot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_tensor::init::rng_from_seed;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], [1, 3]);
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[0]);
+        assert!(out.value < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_prediction_is_ln_c() {
+        let logits = Tensor::zeros([4, 10]);
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[0, 1, 2, 3]);
+        assert!((out.value - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero() {
+        let mut rng = rng_from_seed(3);
+        let logits = Tensor::randn([5, 7], &mut rng);
+        let out = SoftmaxCrossEntropy::new().forward(&logits, &[0, 1, 2, 3, 4]);
+        let row_sums = out.grad.sum_axis(1);
+        for r in 0..5 {
+            assert!(row_sums.at(&[r]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let mut rng = rng_from_seed(4);
+        let logits = Tensor::randn([3, 4], &mut rng);
+        let targets = [1usize, 0, 3];
+        let loss = SoftmaxCrossEntropy::new();
+        let out = loss.forward(&logits, &targets);
+        let eps = 1e-2;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let num = (loss.forward(&lp, &targets).value - loss.forward(&lm, &targets).value)
+                / (2.0 * eps);
+            let ana = out.grad.as_slice()[i];
+            assert!(
+                (num - ana).abs() < 1e-3 * (1.0 + num.abs()),
+                "grad[{}]: {} vs {}",
+                i,
+                num,
+                ana
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_target() {
+        SoftmaxCrossEntropy::new().forward(&Tensor::zeros([1, 3]), &[3]);
+    }
+
+    #[test]
+    fn mse_dense_value_and_grad() {
+        let pred = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let target = Tensor::from_vec(vec![0.0, 0.0], [1, 2]);
+        let out = MseLoss::new().dense(&pred, &target);
+        assert!((out.value - 2.5).abs() < 1e-6);
+        assert_eq!(out.grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn mse_classification_uses_onehot() {
+        let pred = Tensor::from_vec(vec![1.0, 0.0], [1, 2]);
+        let out = MseLoss::new().forward(&pred, &[0]);
+        assert!(out.value.abs() < 1e-6);
+    }
+}

@@ -1,0 +1,108 @@
+//! Human-readable model summaries (the `model.summary()` of classic
+//! frameworks).
+
+use crate::Sequential;
+
+/// One row of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSummary {
+    /// Layer kind.
+    pub name: &'static str,
+    /// Output shape for the probed input.
+    pub output_dims: Vec<usize>,
+    /// Trainable parameter count.
+    pub params: usize,
+}
+
+/// Builds a per-layer summary for an input of shape `input_dims`
+/// (including the batch dimension).
+///
+/// # Panics
+///
+/// Panics if `input_dims` is incompatible with the network.
+pub fn summarize(net: &mut Sequential, input_dims: &[usize]) -> Vec<LayerSummary> {
+    let mut rows = Vec::with_capacity(net.len());
+    let mut dims = input_dims.to_vec();
+    let names = net.layer_names();
+    let mut param_counts = Vec::new();
+    net.visit_layers(&mut |layer| {
+        param_counts.push(layer.param_count());
+    });
+    for (i, name) in names.into_iter().enumerate() {
+        dims = net.layer_output_dims(i, &dims);
+        rows.push(LayerSummary {
+            name,
+            output_dims: dims.clone(),
+            params: param_counts[i],
+        });
+    }
+    rows
+}
+
+/// Renders the summary as an aligned text table, with a totals line.
+pub fn render(rows: &[LayerSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<20} {:>12}\n",
+        "layer", "output", "params"
+    ));
+    let mut total = 0usize;
+    for row in rows {
+        let dims = row
+            .output_dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("×");
+        out.push_str(&format!(
+            "{:<14} {:<20} {:>12}\n",
+            row.name, dims, row.params
+        ));
+        total += row.params;
+    }
+    out.push_str(&format!("{:<14} {:<20} {:>12}\n", "total", "", total));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Flatten, Relu};
+
+    fn net() -> Sequential {
+        let mut n = Sequential::new();
+        n.push(Flatten::new());
+        n.push(Dense::new(12, 4, 0));
+        n.push(Relu::new());
+        n.push(Dense::new(4, 2, 1));
+        n
+    }
+
+    #[test]
+    fn summary_tracks_shapes_and_params() {
+        let mut n = net();
+        let rows = summarize(&mut n, &[8, 3, 2, 2]);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(
+            rows[0],
+            LayerSummary {
+                name: "flatten",
+                output_dims: vec![8, 12],
+                params: 0
+            }
+        );
+        assert_eq!(rows[1].output_dims, vec![8, 4]);
+        assert_eq!(rows[1].params, 12 * 4 + 4);
+        assert_eq!(rows[3].output_dims, vec![8, 2]);
+    }
+
+    #[test]
+    fn render_contains_totals() {
+        let mut n = net();
+        let rows = summarize(&mut n, &[1, 3, 2, 2]);
+        let text = render(&rows);
+        let total = 12 * 4 + 4 + 4 * 2 + 2;
+        assert!(text.contains(&total.to_string()));
+        assert!(text.lines().count() == rows.len() + 2);
+    }
+}

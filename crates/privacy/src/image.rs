@@ -1,0 +1,217 @@
+//! Rendering tensors as portable-pixmap images (Fig. 4 artifacts).
+
+use std::io::{self, Write};
+use std::path::Path;
+use stsl_tensor::Tensor;
+
+/// An 8-bit RGB raster ready to serialize as PPM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    /// Interleaved RGB, row-major.
+    pixels: Vec<u8>,
+}
+
+impl RgbImage {
+    /// Builds an image from a `[3, h, w]` tensor, linearly mapping
+    /// `[lo, hi]` to `[0, 255]` (values outside are clamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `[3, h, w]` or `lo >= hi`.
+    pub fn from_chw(t: &Tensor, lo: f32, hi: f32) -> Self {
+        assert_eq!(t.rank(), 3, "expected [3, h, w], got {}", t.shape());
+        assert_eq!(t.dim(0), 3, "expected 3 channels, got {}", t.dim(0));
+        assert!(lo < hi, "invalid range [{}, {}]", lo, hi);
+        let (h, w) = (t.dim(1), t.dim(2));
+        let src = t.as_slice();
+        let plane = h * w;
+        let mut pixels = Vec::with_capacity(3 * plane);
+        for i in 0..plane {
+            for c in 0..3 {
+                let v = (src[c * plane + i] - lo) / (hi - lo);
+                pixels.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        RgbImage {
+            width: w,
+            height: h,
+            pixels,
+        }
+    }
+
+    /// Builds a grayscale-rendered image from a single-channel `[h, w]`
+    /// tensor, auto-scaling to its own min/max (feature-map rendering).
+    pub fn from_feature_map(t: &Tensor) -> Self {
+        assert_eq!(t.rank(), 2, "expected [h, w], got {}", t.shape());
+        let (lo, hi) = (t.min(), t.max());
+        let range = (hi - lo).max(1e-9);
+        let (h, w) = (t.dim(0), t.dim(1));
+        let mut pixels = Vec::with_capacity(3 * h * w);
+        for &v in t.as_slice() {
+            let g = (((v - lo) / range).clamp(0.0, 1.0) * 255.0).round() as u8;
+            pixels.extend_from_slice(&[g, g, g]);
+        }
+        RgbImage {
+            width: w,
+            height: h,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw interleaved RGB bytes.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Nearest-neighbour upscaling (small feature maps become visible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn upscale(&self, factor: usize) -> RgbImage {
+        assert!(factor > 0, "scale factor must be positive");
+        let (w2, h2) = (self.width * factor, self.height * factor);
+        let mut pixels = Vec::with_capacity(3 * w2 * h2);
+        for y in 0..h2 {
+            for x in 0..w2 {
+                let src = ((y / factor) * self.width + (x / factor)) * 3;
+                pixels.extend_from_slice(&self.pixels[src..src + 3]);
+            }
+        }
+        RgbImage {
+            width: w2,
+            height: h2,
+            pixels,
+        }
+    }
+
+    /// Serializes as binary PPM (P6).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer failures.
+    pub fn write_ppm<W: Write>(&self, mut w: W) -> io::Result<()> {
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        w.write_all(&self.pixels)
+    }
+
+    /// Writes a PPM file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn save_ppm(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_ppm(io::BufWriter::new(file))
+    }
+}
+
+/// Lays out images left-to-right with a 2-pixel white gutter (the Fig. 4
+/// triptych format).
+///
+/// # Panics
+///
+/// Panics if `images` is empty or heights differ.
+pub fn hstack(images: &[RgbImage]) -> RgbImage {
+    assert!(!images.is_empty(), "hstack of no images");
+    let h = images[0].height;
+    assert!(
+        images.iter().all(|i| i.height == h),
+        "hstack requires equal heights"
+    );
+    const GUTTER: usize = 2;
+    let w_total: usize =
+        images.iter().map(|i| i.width).sum::<usize>() + GUTTER * (images.len() - 1);
+    let mut pixels = vec![255u8; 3 * w_total * h];
+    let mut x_off = 0;
+    for img in images {
+        for y in 0..h {
+            let dst = (y * w_total + x_off) * 3;
+            let src = y * img.width * 3;
+            pixels[dst..dst + img.width * 3].copy_from_slice(&img.pixels[src..src + img.width * 3]);
+        }
+        x_off += img.width + GUTTER;
+    }
+    RgbImage {
+        width: w_total,
+        height: h,
+        pixels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_chw_maps_range() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.5, 0.5, 0.5], [3, 1, 2]);
+        let img = RgbImage::from_chw(&t, 0.0, 1.0);
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.height(), 1);
+        // Pixel 0: (r=0, g=0.5, b=0.5), pixel 1: (r=1, g=0.5, b=0.5)
+        assert_eq!(img.pixels(), &[0, 128, 128, 255, 128, 128]);
+    }
+
+    #[test]
+    fn from_chw_clamps_out_of_range() {
+        let t = Tensor::from_vec(vec![-5.0, 5.0, 0.0, 0.0, 0.0, 0.0], [3, 1, 2]);
+        let img = RgbImage::from_chw(&t, 0.0, 1.0);
+        assert_eq!(img.pixels()[0], 0);
+        assert_eq!(img.pixels()[3], 255);
+    }
+
+    #[test]
+    fn feature_map_autoscales() {
+        let t = Tensor::from_vec(vec![2.0, 4.0], [1, 2]);
+        let img = RgbImage::from_feature_map(&t);
+        assert_eq!(img.pixels(), &[0, 0, 0, 255, 255, 255]);
+    }
+
+    #[test]
+    fn constant_feature_map_does_not_divide_by_zero() {
+        let t = Tensor::full([2, 2], 3.0);
+        let img = RgbImage::from_feature_map(&t);
+        assert_eq!(img.pixels().len(), 12);
+    }
+
+    #[test]
+    fn upscale_replicates_pixels() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0], [3, 1, 2]);
+        let img = RgbImage::from_chw(&t, 0.0, 1.0).upscale(2);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 2);
+        assert_eq!(&img.pixels()[..6], &[0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ppm_header_and_payload() {
+        let t = Tensor::zeros([3, 2, 2]);
+        let img = RgbImage::from_chw(&t, 0.0, 1.0);
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).unwrap();
+        assert!(buf.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 12);
+    }
+
+    #[test]
+    fn hstack_inserts_gutter() {
+        let t = Tensor::zeros([3, 2, 2]);
+        let a = RgbImage::from_chw(&t, 0.0, 1.0);
+        let joined = hstack(&[a.clone(), a]);
+        assert_eq!(joined.width(), 2 + 2 + 2);
+        assert_eq!(joined.height(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Privacy evaluation for spatio-temporal split learning.
+//!
+//! Reproduces and quantifies the paper's Fig. 4 ("image capture during
+//! deep neural network computation"):
+//!
+//! * [`visualize`] — capture the activation after each client layer and
+//!   render the original / post-`Conv2D(L1)` / post-`L1` triptych;
+//! * [`inversion`] — a regression model-inversion attack measuring how
+//!   well an honest-but-curious server can reconstruct raw images from
+//!   smashed activations at each cut depth;
+//! * [`metrics`] — MSE, PSNR, global SSIM, pixel correlation and distance
+//!   correlation;
+//! * [`image`] — dependency-free PPM rendering of tensors.
+//!
+//! # Examples
+//!
+//! ```
+//! use stsl_privacy::{visualize, metrics};
+//! use stsl_nn::{Sequential, layers::{Conv2d, Relu, MaxPool2d}};
+//! use stsl_data::SyntheticCifar;
+//! use stsl_tensor::init::rng_from_seed;
+//!
+//! let mut client = Sequential::new();
+//! client.push(Conv2d::new(3, 8, 3, 0));
+//! client.push(Relu::new());
+//! client.push(MaxPool2d::new(2));
+//!
+//! let img = SyntheticCifar::new(0).render_sized(4, 16, &mut rng_from_seed(1));
+//! let stages = visualize::capture_stages(&mut client, &img);
+//! assert_eq!(stages[0].label, "original");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod image;
+pub mod inversion;
+pub mod metrics;
+pub mod visualize;
+
+pub use image::{hstack, RgbImage};
+pub use inversion::{measure_leakage, InversionAttack, LeakageReport};
+pub use visualize::{capture_stages, fig4_triptych, render_stage, stage_similarity, CapturePoint};

@@ -1,0 +1,266 @@
+//! Leakage metrics: how much of the original image survives in (or can be
+//! recovered from) the smashed representation.
+
+use stsl_tensor::Tensor;
+
+/// Mean squared error between two same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if shapes differ or tensors are empty.
+pub fn mse(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    assert!(!a.is_empty(), "mse of empty tensors");
+    let diff = a - b;
+    diff.sq_norm() / a.len() as f32
+}
+
+/// Peak signal-to-noise ratio in dB for signals with peak value `peak`
+/// (1.0 for our unit-range images). Higher = more faithful = **more
+/// leakage** when measuring reconstructions.
+///
+/// Returns `f32::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if shapes differ or `peak <= 0`.
+pub fn psnr(reference: &Tensor, reconstruction: &Tensor, peak: f32) -> f32 {
+    assert!(peak > 0.0, "peak must be positive");
+    let err = mse(reference, reconstruction);
+    if err == 0.0 {
+        return f32::INFINITY;
+    }
+    10.0 * (peak * peak / err).log10()
+}
+
+/// Global structural similarity (single-window SSIM) between two images.
+///
+/// A simplified SSIM that treats the whole image as one window — adequate
+/// for ranking reconstruction quality across cut depths. Returns a value
+/// in `[-1, 1]`; 1 means structurally identical.
+///
+/// # Panics
+///
+/// Panics if shapes differ or tensors are empty.
+pub fn ssim_global(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "ssim shape mismatch");
+    assert!(!a.is_empty(), "ssim of empty tensors");
+    let n = a.len() as f32;
+    let ma = a.mean();
+    let mb = b.mean();
+    let va = a
+        .as_slice()
+        .iter()
+        .map(|&x| (x - ma) * (x - ma))
+        .sum::<f32>()
+        / n;
+    let vb = b
+        .as_slice()
+        .iter()
+        .map(|&x| (x - mb) * (x - mb))
+        .sum::<f32>()
+        / n;
+    let cov = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - ma) * (y - mb))
+        .sum::<f32>()
+        / n;
+    const C1: f32 = 0.01 * 0.01;
+    const C2: f32 = 0.03 * 0.03;
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+/// Pearson correlation between the flattened pixels of two tensors.
+///
+/// # Panics
+///
+/// Panics if shapes differ or either tensor is constant.
+pub fn pixel_correlation(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "correlation shape mismatch");
+    let ma = a.mean();
+    let mb = b.mean();
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    assert!(va > 0.0 && vb > 0.0, "correlation of constant tensor");
+    // The 1/n factors cancel between covariance and the two variances.
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Bias-corrected distance correlation (Székely & Rizzo 2014, U-centered)
+/// between two batches of (possibly different-width) feature vectors —
+/// the standard measure of *any* statistical dependence between raw
+/// inputs and smashed activations in the split-learning privacy
+/// literature. ≈ 0 for independent samples (the naive estimator has large
+/// positive bias at small n), 1 for fully dependent; negative estimates
+/// are clamped to 0.
+///
+/// `a` and `b` are `[n, *]` tensors with matching leading dimension;
+/// cost is O(n²) in the batch size.
+///
+/// # Panics
+///
+/// Panics if leading dimensions differ or `n < 4` (the U-statistic needs
+/// four samples).
+pub fn distance_correlation(a: &Tensor, b: &Tensor) -> f32 {
+    let n = a.dim(0);
+    assert_eq!(n, b.dim(0), "batch dimension mismatch");
+    assert!(n >= 4, "distance correlation needs at least four samples");
+    let da = pairwise_distances(a);
+    let db = pairwise_distances(b);
+    let ca = u_center(&da, n);
+    let cb = u_center(&db, n);
+    let mut dcov2 = 0.0f64;
+    let mut dvar_a = 0.0f64;
+    let mut dvar_b = 0.0f64;
+    for i in 0..n * n {
+        dcov2 += ca[i] * cb[i];
+        dvar_a += ca[i] * ca[i];
+        dvar_b += cb[i] * cb[i];
+    }
+    let denom = (dvar_a * dvar_b).sqrt();
+    if denom <= 1e-12 {
+        return 0.0;
+    }
+    ((dcov2 / denom).max(0.0)).sqrt() as f32
+}
+
+/// U-centering: `Ã_ij = A_ij - r_i/(n-2) - c_j/(n-2) + g/((n-1)(n-2))`
+/// off-diagonal, 0 on the diagonal.
+fn u_center(d: &[f32], n: usize) -> Vec<f64> {
+    let mut row = vec![0.0f64; n];
+    let mut grand = 0.0f64;
+    for i in 0..n {
+        let sum: f64 = d[i * n..(i + 1) * n].iter().map(|&v| v as f64).sum();
+        row[i] = sum;
+        grand += sum;
+    }
+    let nf = n as f64;
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            c[i * n + j] = d[i * n + j] as f64 - row[i] / (nf - 2.0) - row[j] / (nf - 2.0)
+                + grand / ((nf - 1.0) * (nf - 2.0));
+        }
+    }
+    c
+}
+
+fn pairwise_distances(t: &Tensor) -> Vec<f32> {
+    let n = t.dim(0);
+    let width = t.len() / n;
+    let data = t.as_slice();
+    let mut d = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (ri, rj) = (
+                &data[i * width..(i + 1) * width],
+                &data[j * width..(j + 1) * width],
+            );
+            let dist = ri
+                .iter()
+                .zip(rj)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f32>()
+                .sqrt();
+            d[i * n + j] = dist;
+            d[j * n + i] = dist;
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_tensor::init::rng_from_seed;
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let t = Tensor::randn([3, 4], &mut rng_from_seed(0));
+        assert_eq!(mse(&t, &t), 0.0);
+    }
+
+    #[test]
+    fn psnr_of_identical_is_infinite() {
+        let t = Tensor::ones([4]);
+        assert!(psnr(&t, &t, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn psnr_drops_with_noise() {
+        let mut rng = rng_from_seed(1);
+        let t = Tensor::rand_uniform([256], 0.0, 1.0, &mut rng);
+        let small_noise = &t + &(&Tensor::randn([256], &mut rng) * 0.01);
+        let big_noise = &t + &(&Tensor::randn([256], &mut rng) * 0.3);
+        assert!(psnr(&t, &small_noise, 1.0) > psnr(&t, &big_noise, 1.0));
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let t = Tensor::rand_uniform([64], 0.0, 1.0, &mut rng_from_seed(2));
+        assert!((ssim_global(&t, &t) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ssim_penalizes_structural_destruction() {
+        let mut rng = rng_from_seed(3);
+        let t = Tensor::rand_uniform([100], 0.0, 1.0, &mut rng);
+        let shuffledish = Tensor::rand_uniform([100], 0.0, 1.0, &mut rng);
+        assert!(ssim_global(&t, &t) > ssim_global(&t, &shuffledish) + 0.3);
+    }
+
+    #[test]
+    fn correlation_of_negated_signal_is_minus_one() {
+        let t = Tensor::randn([50], &mut rng_from_seed(4));
+        let neg = -&t;
+        assert!((pixel_correlation(&t, &neg) + 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dcor_of_identical_batches_is_one() {
+        let t = Tensor::randn([10, 6], &mut rng_from_seed(5));
+        let d = distance_correlation(&t, &t);
+        assert!((d - 1.0).abs() < 1e-3, "dcor {}", d);
+    }
+
+    #[test]
+    fn dcor_of_independent_batches_is_small() {
+        // The bias-corrected estimator should hover near zero for
+        // independent samples even at modest n.
+        let mut rng = rng_from_seed(6);
+        let a = Tensor::randn([60, 8], &mut rng);
+        let b = Tensor::randn([60, 8], &mut rng);
+        let d = distance_correlation(&a, &b);
+        assert!(d < 0.2, "dcor {} too high for independent data", d);
+    }
+
+    #[test]
+    fn dcor_detects_nonlinear_dependence() {
+        // b = a², which Pearson-style measures can miss but dCor catches.
+        let a = Tensor::randn([60, 4], &mut rng_from_seed(7));
+        let b = a.map(|x| x * x);
+        let dep = distance_correlation(&a, &b);
+        let mut rng = rng_from_seed(8);
+        let indep = Tensor::randn([60, 4], &mut rng);
+        assert!(dep > distance_correlation(&a, &indep) + 0.2, "dep {}", dep);
+    }
+
+    #[test]
+    fn dcor_different_widths_allowed() {
+        let mut rng = rng_from_seed(9);
+        let a = Tensor::randn([12, 4], &mut rng);
+        let b = Tensor::randn([12, 16], &mut rng);
+        let _ = distance_correlation(&a, &b); // must not panic
+    }
+}

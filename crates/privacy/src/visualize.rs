@@ -1,0 +1,251 @@
+//! Fig. 4: "image capture during deep neural network computation".
+//!
+//! The paper shows (a) an original CIFAR-10 image, (b) the activation
+//! after the `Conv2D` of `L_1` — still recognizable, if blurred — and
+//! (c) the activation after the full `L_1` block (conv + max-pool), which
+//! "can definitely hide original images". These helpers capture those
+//! stages from any client model and render them side by side.
+
+use crate::image::{hstack, RgbImage};
+use stsl_nn::{Mode, Sequential};
+use stsl_tensor::Tensor;
+
+/// One captured stage of the computation.
+#[derive(Debug, Clone)]
+pub struct CapturePoint {
+    /// Stage label (`"original"`, `"conv2d#0"`, `"maxpool2d#2"`, …).
+    pub label: String,
+    /// Activation tensor, `[c, h, w]`.
+    pub activation: Tensor,
+}
+
+/// Runs `image` (`[3, h, w]`) through every layer of `model`, returning
+/// the original plus each layer's output as capture points.
+///
+/// # Panics
+///
+/// Panics if `image` is not `[c, h, w]`.
+pub fn capture_stages(model: &mut Sequential, image: &Tensor) -> Vec<CapturePoint> {
+    assert_eq!(
+        image.rank(),
+        3,
+        "expected [c, h, w] image, got {}",
+        image.shape()
+    );
+    let batched = {
+        let mut dims = vec![1];
+        dims.extend_from_slice(image.dims());
+        image.reshape(dims)
+    };
+    let mut points = vec![CapturePoint {
+        label: "original".to_string(),
+        activation: image.clone(),
+    }];
+    let names = model.layer_names();
+    for (i, out) in model
+        .forward_collect(&batched, Mode::Eval)
+        .into_iter()
+        .enumerate()
+    {
+        if out.rank() != 4 {
+            break; // flatten/dense stages have no spatial rendering
+        }
+        points.push(CapturePoint {
+            label: format!("{}#{}", names[i], i),
+            activation: out.index_axis0(0),
+        });
+    }
+    points
+}
+
+/// Renders a `[c, h, w]` activation: RGB for 3-channel tensors, the
+/// channel-mean as grayscale otherwise.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3.
+pub fn render_stage(activation: &Tensor) -> RgbImage {
+    assert_eq!(
+        activation.rank(),
+        3,
+        "expected [c, h, w], got {}",
+        activation.shape()
+    );
+    if activation.dim(0) == 3 {
+        RgbImage::from_chw(
+            activation,
+            activation.min(),
+            activation.max().max(activation.min() + 1e-6),
+        )
+    } else {
+        RgbImage::from_feature_map(&activation.mean_axis(0))
+    }
+}
+
+/// The channel-mean of a `[c, h, w]` activation, upsampled (nearest
+/// neighbour) to `side×side` — a common canvas for comparing stages.
+pub fn mean_map_upsampled(activation: &Tensor, side: usize) -> Tensor {
+    let mean = activation.mean_axis(0);
+    let (h, w) = (mean.dim(0), mean.dim(1));
+    Tensor::from_fn([side, side], |idx| {
+        let y = (idx[0] * h) / side;
+        let x = (idx[1] * w) / side;
+        mean.at(&[y.min(h - 1), x.min(w - 1)])
+    })
+}
+
+/// How much of the original image's spatial structure survives in a
+/// stage's activation: the **best single channel's** absolute Pearson
+/// correlation (after nearest-neighbour upsampling) with the original's
+/// luminance, in `[0, 1]`.
+///
+/// Per-channel, not channel-mean, because an eavesdropper inspects
+/// channels individually — exactly what the paper's Fig. 4(b) shows: one
+/// `Conv2D` feature map in which the image is still recognizable. High
+/// values mean the stage still exposes the image.
+pub fn stage_similarity(original: &Tensor, activation: &Tensor) -> f32 {
+    assert_eq!(
+        activation.rank(),
+        3,
+        "expected [c, h, w], got {}",
+        activation.shape()
+    );
+    let side = original.dim(1);
+    let lum = original.mean_axis(0);
+    if is_constant(&lum) {
+        return 0.0;
+    }
+    let mut best = 0.0f32;
+    for c in 0..activation.dim(0) {
+        let channel = activation.index_axis0(c);
+        let single = channel.reshape([1, channel.dim(0), channel.dim(1)]);
+        let map = mean_map_upsampled(&single, side);
+        if is_constant(&map) {
+            continue;
+        }
+        best = best.max(crate::metrics::pixel_correlation(&lum, &map).abs());
+    }
+    best
+}
+
+fn is_constant(t: &Tensor) -> bool {
+    (t.max() - t.min()).abs() < 1e-9
+}
+
+/// Renders the Fig. 4 triptych — original, post-`Conv2D(L1)`, post-`L1` —
+/// upscaled by `scale` for visibility.
+///
+/// # Panics
+///
+/// Panics if `model` does not start with a `[conv, relu, pool]` block or
+/// `scale == 0`.
+pub fn fig4_triptych(model: &mut Sequential, image: &Tensor, scale: usize) -> RgbImage {
+    let stages = capture_stages(model, image);
+    assert!(
+        stages.len() >= 4,
+        "model must contain at least one full conv block, got {} capture points",
+        stages.len()
+    );
+    // stages: [original, conv, relu, pool, ...]
+    let original = render_stage(&stages[0].activation).upscale(scale);
+    let conv = render_stage(&stages[1].activation).upscale(scale);
+    let pooled_scale = scale * (stages[0].activation.dim(1) / stages[3].activation.dim(1)).max(1);
+    let pooled = render_stage(&stages[3].activation).upscale(pooled_scale);
+    hstack(&[original, conv, pooled])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_data::SyntheticCifar;
+    use stsl_nn::layers::{Conv2d, MaxPool2d, Relu};
+    use stsl_tensor::init::rng_from_seed;
+
+    fn one_block_model(seed: u64) -> Sequential {
+        let mut m = Sequential::new();
+        m.push(Conv2d::new(3, 8, 3, seed));
+        m.push(Relu::new());
+        m.push(MaxPool2d::new(2));
+        m
+    }
+
+    fn sample_image(class: usize) -> Tensor {
+        SyntheticCifar::new(0)
+            .difficulty(0.0)
+            .render_sized(class, 16, &mut rng_from_seed(3))
+    }
+
+    #[test]
+    fn capture_includes_original_and_block_stages() {
+        let mut m = one_block_model(1);
+        let points = capture_stages(&mut m, &sample_image(4));
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].label, "original");
+        assert!(points[1].label.starts_with("conv2d"));
+        assert!(points[3].label.starts_with("maxpool2d"));
+        assert_eq!(points[3].activation.dims(), &[8, 8, 8]);
+    }
+
+    #[test]
+    fn capture_stops_at_flatten() {
+        let mut m = one_block_model(1);
+        m.push(stsl_nn::layers::Flatten::new());
+        m.push(stsl_nn::layers::Dense::new(8 * 8 * 8, 4, 0));
+        let points = capture_stages(&mut m, &sample_image(0));
+        assert_eq!(points.len(), 4); // original + conv + relu + pool only
+    }
+
+    #[test]
+    fn render_rgb_vs_feature_map() {
+        let rgb = render_stage(&Tensor::zeros([3, 4, 4]));
+        assert_eq!(rgb.width(), 4);
+        let fm = render_stage(&Tensor::zeros([8, 4, 4]));
+        assert_eq!(fm.width(), 4);
+    }
+
+    #[test]
+    fn mean_map_upsampling_shape() {
+        let t = Tensor::randn([5, 4, 4], &mut rng_from_seed(0));
+        let up = mean_map_upsampled(&t, 16);
+        assert_eq!(up.dims(), &[16, 16]);
+    }
+
+    #[test]
+    fn conv_stage_is_more_similar_than_pool_stage() {
+        // The core Fig. 4 claim: the conv output still mirrors the image's
+        // structure; pooling degrades it. Average over several images to
+        // smooth out per-image variance.
+        let mut m = one_block_model(7);
+        let mut conv_sim = 0.0;
+        let mut pool_sim = 0.0;
+        for class in [0usize, 1, 2, 3, 7, 9] {
+            let img = sample_image(class);
+            let stages = capture_stages(&mut m, &img);
+            conv_sim += stage_similarity(&img, &stages[1].activation);
+            pool_sim += stage_similarity(&img, &stages[3].activation);
+        }
+        assert!(
+            conv_sim > pool_sim,
+            "conv similarity {} should exceed pool similarity {}",
+            conv_sim,
+            pool_sim
+        );
+    }
+
+    #[test]
+    fn triptych_has_three_panels() {
+        let mut m = one_block_model(2);
+        let img = sample_image(5);
+        let trip = fig4_triptych(&mut m, &img, 2);
+        // 3 panels of 32 px (16×2 upscale) + 2 gutters of 2 px.
+        assert_eq!(trip.width(), 32 * 3 + 4);
+        assert_eq!(trip.height(), 32);
+    }
+
+    #[test]
+    fn stage_similarity_of_identity_is_high() {
+        let img = sample_image(3);
+        let sim = stage_similarity(&img, &img);
+        assert!(sim > 0.95, "self similarity {}", sim);
+    }
+}

@@ -1,0 +1,155 @@
+//! Delivery statistics: latency histograms and throughput counters.
+
+use crate::SimDuration;
+
+/// An online accumulator of transfer-latency observations with quantiles.
+///
+/// Stores all observations (experiments here are small); quantiles are
+/// exact.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_us.push(d.as_micros());
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Mean latency, or `None` if empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples_us.iter().map(|&v| v as u128).sum();
+        Some(SimDuration::from_micros(
+            (sum / self.samples_us.len() as u128) as u64,
+        ))
+    }
+
+    /// Exact quantile `q ∈ [0, 1]` (nearest-rank), or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples_us.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples_us.len() as f64 - 1.0) * q).round() as usize;
+        Some(SimDuration::from_micros(self.samples_us[rank]))
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples_us
+            .iter()
+            .max()
+            .map(|&v| SimDuration::from_micros(v))
+    }
+}
+
+/// Byte and message counters for one direction of a link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficCounter {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bytes delivered.
+    pub bytes: u64,
+    /// Messages dropped by the link.
+    pub dropped: u64,
+}
+
+impl TrafficCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        TrafficCounter::default()
+    }
+
+    /// Records a delivered message of `bytes`.
+    pub fn record_delivery(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Records a dropped message.
+    pub fn record_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Delivery ratio in `[0, 1]`; 1.0 when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        let sent = self.messages + self.dropped;
+        if sent == 0 {
+            1.0
+        } else {
+            self.messages as f64 / sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_quantiles() {
+        let mut s = LatencyStats::new();
+        for ms in [1u64, 2, 3, 4, 5] {
+            s.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.mean().unwrap().as_millis(), 3);
+        assert_eq!(s.quantile(0.0).unwrap().as_millis(), 1);
+        assert_eq!(s.quantile(0.5).unwrap().as_millis(), 3);
+        assert_eq!(s.quantile(1.0).unwrap().as_millis(), 5);
+        assert_eq!(s.max().unwrap().as_millis(), 5);
+    }
+
+    #[test]
+    fn empty_stats_return_none() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn recording_after_quantile_resorts() {
+        let mut s = LatencyStats::new();
+        s.record(SimDuration::from_millis(10));
+        assert_eq!(s.quantile(1.0).unwrap().as_millis(), 10);
+        s.record(SimDuration::from_millis(1));
+        assert_eq!(s.quantile(0.0).unwrap().as_millis(), 1);
+    }
+
+    #[test]
+    fn traffic_counter_ratios() {
+        let mut c = TrafficCounter::new();
+        assert_eq!(c.delivery_ratio(), 1.0);
+        c.record_delivery(100);
+        c.record_delivery(50);
+        c.record_drop();
+        assert_eq!(c.messages, 2);
+        assert_eq!(c.bytes, 150);
+        assert!((c.delivery_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,508 @@
+//! The asynchronous, network-simulated spatio-temporal trainer.
+//!
+//! Where [`crate::SpatioTemporalTrainer`] idealizes the network away, this
+//! trainer runs the same protocol over a [`stsl_simnet`] star topology in
+//! simulated time: activations and gradients take real (sampled) transfer
+//! times, the server has a finite per-batch service time, and arrivals
+//! wait in an [`crate::ArrivalQueue`] governed by a
+//! [`crate::SchedulingPolicy`]. This is the machinery behind experiment E4
+//! (queueing/staleness/scheduling) and the latency half of E5.
+
+use crate::client::EndSystem;
+use crate::config::SplitConfig;
+use crate::protocol::{ActivationMsg, GradientMsg};
+use crate::report::{AsyncReport, CommReport};
+use crate::scheduler::{ArrivalQueue, SchedulingPolicy};
+use crate::server::CentralServer;
+use crate::trainer::ConfigError;
+use stsl_data::{ImageDataset, Partition};
+use stsl_simnet::{EndSystemId, EventQueue, SimDuration, SimTime, StarTopology, TraceKind, TraceLog};
+use stsl_tensor::init::{derive_seed, rng_from_seed};
+
+/// Timing knobs of the simulated deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    /// Time an end-system needs to forward one batch through its private
+    /// layers (and to apply a returned gradient).
+    pub client_batch: SimDuration,
+    /// Time the server needs to process one batch (forward + backward +
+    /// step).
+    pub server_batch: SimDuration,
+    /// How long a client waits for a lost message before abandoning the
+    /// batch and moving on.
+    pub retry_timeout: SimDuration,
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        ComputeModel {
+            client_batch: SimDuration::from_millis(5),
+            server_batch: SimDuration::from_millis(3),
+            retry_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Activations reached the server.
+    Arrival(ActivationMsg),
+    /// A gradient reached its end-system.
+    GradArrival(GradientMsg),
+    /// The server finished a batch and can pick the next queued one.
+    ServerFree,
+    /// A client's outstanding batch is presumed lost; skip it.
+    ClientSkip(EndSystemId),
+}
+
+/// Asynchronous trainer over a simulated network.
+#[derive(Debug)]
+pub struct AsyncSplitTrainer {
+    config: SplitConfig,
+    topology: StarTopology,
+    policy: SchedulingPolicy,
+    compute: ComputeModel,
+    server: CentralServer,
+    clients: Vec<EndSystem>,
+    queue: ArrivalQueue,
+    events: EventQueue<Event>,
+    link_rngs: Vec<rand::rngs::StdRng>,
+    server_busy_until: SimTime,
+    comm: CommReport,
+    network_drops: u64,
+    client_epoch: Vec<u64>,
+    trace: Option<TraceLog>,
+}
+
+impl AsyncSplitTrainer {
+    /// Builds the trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid or the
+    /// topology size disagrees with `config.end_systems`.
+    pub fn new(
+        config: SplitConfig,
+        train: &ImageDataset,
+        topology: StarTopology,
+        policy: SchedulingPolicy,
+        compute: ComputeModel,
+    ) -> Result<Self, ConfigError> {
+        config.validate().map_err(ConfigError)?;
+        if topology.len() != config.end_systems {
+            return Err(ConfigError(format!(
+                "topology has {} links but config has {} end-systems",
+                topology.len(),
+                config.end_systems
+            )));
+        }
+        if train.len() < config.end_systems {
+            return Err(ConfigError("dataset smaller than client count".into()));
+        }
+        let partition: Partition = config.partition.into();
+        let shards = partition.split(train, config.end_systems, derive_seed(config.seed, 7));
+        let (_, server_model) = config.arch.build_split(config.cut, config.seed);
+        let server = CentralServer::new(server_model, config.build_optimizer(), config.end_systems);
+        let clients: Vec<EndSystem> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let client_seed = derive_seed(config.seed, 1000 + i as u64);
+                let (client_model, _) = config.arch.build_split(config.cut, client_seed);
+                EndSystem::new(
+                    EndSystemId(i),
+                    client_model,
+                    shard,
+                    config.batch_size,
+                    config.build_optimizer(),
+                    config.augment,
+                    client_seed,
+                )
+                .with_smash_noise(config.smash_noise)
+            })
+            .collect();
+        let link_rngs = (0..config.end_systems)
+            .map(|i| rng_from_seed(derive_seed(config.seed, 5000 + i as u64)))
+            .collect();
+        let queue = ArrivalQueue::new(policy, config.end_systems);
+        Ok(AsyncSplitTrainer {
+            config,
+            topology,
+            policy,
+            compute,
+            server,
+            clients,
+            queue,
+            events: EventQueue::new(),
+            link_rngs,
+            server_busy_until: SimTime::ZERO,
+            comm: CommReport::default(),
+            network_drops: 0,
+            client_epoch: Vec::new(),
+            trace: None,
+        })
+    }
+
+    /// Enables event tracing; every arrival, service start, gradient
+    /// delivery and drop is recorded for later inspection via
+    /// [`AsyncSplitTrainer::trace`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceLog::new());
+    }
+
+    /// The event trace, if [`AsyncSplitTrainer::enable_trace`] was called.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, at: SimTime, kind: TraceKind, id: EndSystemId) {
+        if let Some(log) = &mut self.trace {
+            log.record(at, kind, id);
+        }
+    }
+
+    /// Runs the configured number of client epochs to completion and
+    /// evaluates on `test`.
+    pub fn run(&mut self, test: &ImageDataset) -> AsyncReport {
+        self.run_with_budget(test, None)
+    }
+
+    /// Like [`AsyncSplitTrainer::run`], but stops the simulation once the
+    /// clock passes `budget` (if given), even if clients still have
+    /// batches left.
+    ///
+    /// Fixed-time-budget runs are how the §II "biased learning" effect is
+    /// measured: under a wall-clock budget, far end-systems complete fewer
+    /// batches, so per-client service counts diverge and the scheduling
+    /// policy matters. (In run-to-completion mode every batch is served
+    /// eventually and totals are trivially equal.)
+    pub fn run_with_budget(
+        &mut self,
+        test: &ImageDataset,
+        budget: Option<stsl_simnet::SimDuration>,
+    ) -> AsyncReport {
+        self.client_epoch = vec![0; self.clients.len()];
+        for c in &mut self.clients {
+            c.begin_epoch(0);
+        }
+        // Kick off: every client computes its first batch at t = 0.
+        for i in 0..self.clients.len() {
+            self.launch_next_batch(EndSystemId(i), SimTime::ZERO);
+        }
+        // Drain the event loop.
+        while let Some((t, event)) = self.events.pop() {
+            if let Some(b) = budget {
+                if t.since(SimTime::ZERO) > b {
+                    break;
+                }
+            }
+            match event {
+                Event::Arrival(msg) => {
+                    self.trace_event(t, TraceKind::Arrival, msg.from);
+                    self.queue.push(t, msg);
+                    self.try_serve(t);
+                }
+                Event::ServerFree => {
+                    self.try_serve(t);
+                }
+                Event::GradArrival(grad) => {
+                    let id = grad.to;
+                    self.trace_event(t, TraceKind::GradientDelivered, id);
+                    self.clients[id.0].apply_gradient(&grad);
+                    // The gradient application costs client compute time.
+                    self.launch_next_batch(id, t + self.compute.client_batch);
+                }
+                Event::ClientSkip(id) => {
+                    self.clients[id.0].abandon_outstanding();
+                    self.launch_next_batch(id, t);
+                }
+            }
+        }
+        let sim_seconds = self.events.now().as_secs_f64();
+        let per: Vec<f32> = {
+            let batch = self.config.batch_size.max(32);
+            let server = &mut self.server;
+            self.clients
+                .iter_mut()
+                .map(|c| server.evaluate_with_encoder(test, batch, |x| c.encode(x)))
+                .collect()
+        };
+        let final_accuracy = per.iter().sum::<f32>() / per.len().max(1) as f32;
+        AsyncReport {
+            policy: self.policy.to_string(),
+            end_systems: self.config.end_systems,
+            cut_blocks: self.config.cut.blocks(),
+            sim_seconds,
+            final_accuracy,
+            served_per_client: self.queue.served_per_client().to_vec(),
+            service_imbalance: self.queue.service_imbalance(),
+            mean_queue_depth: self.queue.mean_depth(),
+            max_queue_depth: self.queue.max_depth(),
+            mean_queue_wait_ms: self.queue.mean_wait().as_micros() as f64 / 1e3,
+            scheduler_drops: self.queue.dropped(),
+            network_drops: self.network_drops,
+            comm: self.comm,
+        }
+    }
+
+    /// Computes client `id`'s next batch starting at `t` and sends it
+    /// uplink. Advances the client's epoch when its shard is exhausted;
+    /// stops silently after the final epoch.
+    fn launch_next_batch(&mut self, id: EndSystemId, t: SimTime) {
+        let client = &mut self.clients[id.0];
+        if client.epoch_finished() {
+            let next_epoch = self.client_epoch[id.0] + 1;
+            if next_epoch >= self.config.epochs as u64 {
+                return; // this client is done for good
+            }
+            self.client_epoch[id.0] = next_epoch;
+            client.begin_epoch(next_epoch);
+        }
+        let Some(msg) = client.next_batch() else {
+            return;
+        };
+        let bytes = msg.encoded_len();
+        let send_at = t + self.compute.client_batch;
+        let link = *self.topology.link(id);
+        match link.transfer(bytes, &mut self.link_rngs[id.0]) {
+            Some(dur) => {
+                self.comm.uplink_bytes += bytes as u64;
+                self.comm.uplink_messages += 1;
+                self.events.schedule(send_at + dur, Event::Arrival(msg));
+            }
+            None => {
+                self.network_drops += 1;
+                self.trace_event(send_at, TraceKind::NetworkDrop, id);
+                self.events
+                    .schedule(send_at + self.compute.retry_timeout, Event::ClientSkip(id));
+            }
+        }
+    }
+
+    /// If the server is idle at `t`, pops the next job per the scheduling
+    /// policy, processes it and schedules the completion + gradient
+    /// delivery. Clients whose jobs were discarded as stale are told to
+    /// skip.
+    fn try_serve(&mut self, t: SimTime) {
+        if self.server_busy_until > t || self.queue.is_empty() {
+            return;
+        }
+        let (job, discarded) = self.queue.pop(t);
+        for msg in discarded {
+            self.trace_event(t, TraceKind::SchedulerDrop, msg.from);
+            // The client is still awaiting a gradient for this batch.
+            self.events.schedule(t, Event::ClientSkip(msg.from));
+        }
+        let Some(job) = job else { return };
+        self.trace_event(t, TraceKind::ServiceStart, job.msg.from);
+        let out = self.server.process(&job.msg);
+        let done = t + self.compute.server_batch;
+        self.server_busy_until = done;
+        self.events.schedule(done, Event::ServerFree);
+        let id = out.gradient.to;
+        let bytes = out.gradient.encoded_len();
+        let link = *self.topology.link(id);
+        match link.transfer(bytes, &mut self.link_rngs[id.0]) {
+            Some(dur) => {
+                self.comm.downlink_bytes += bytes as u64;
+                self.comm.downlink_messages += 1;
+                self.events
+                    .schedule(done + dur, Event::GradArrival(out.gradient));
+            }
+            None => {
+                self.network_drops += 1;
+                self.trace_event(done, TraceKind::NetworkDrop, id);
+                self.events
+                    .schedule(done + self.compute.retry_timeout, Event::ClientSkip(id));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CutPoint;
+    use stsl_data::SyntheticCifar;
+    use stsl_simnet::Link;
+
+    fn data(n: usize) -> ImageDataset {
+        SyntheticCifar::new(3)
+            .difficulty(0.05)
+            .generate_sized(n, 16)
+    }
+
+    fn run_with(
+        policy: SchedulingPolicy,
+        topology: StarTopology,
+        clients: usize,
+        epochs: usize,
+    ) -> AsyncReport {
+        let cfg = SplitConfig::tiny(CutPoint(1), clients)
+            .epochs(epochs)
+            .batch_size(8)
+            .seed(4);
+        let train = data(clients * 24);
+        let test = data(40);
+        let mut t =
+            AsyncSplitTrainer::new(cfg, &train, topology, policy, ComputeModel::default()).unwrap();
+        t.run(&test)
+    }
+
+    #[test]
+    fn completes_and_serves_every_batch_homogeneous() {
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let r = run_with(SchedulingPolicy::Fifo, top, 2, 1);
+        // 24 samples per client, batch 8 -> 3 batches each.
+        assert_eq!(r.served_per_client, vec![3, 3]);
+        assert_eq!(r.scheduler_drops, 0);
+        assert_eq!(r.network_drops, 0);
+        assert!(r.sim_seconds > 0.0);
+        assert_eq!(r.comm.uplink_messages, 6);
+        assert_eq!(r.comm.downlink_messages, 6);
+    }
+
+    #[test]
+    fn topology_size_must_match_clients() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 3);
+        let top = StarTopology::uniform(2, Link::ideal());
+        let err = AsyncSplitTrainer::new(
+            cfg,
+            &data(60),
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("topology"));
+    }
+
+    #[test]
+    fn heterogeneous_latency_slows_completion() {
+        let fast = StarTopology::uniform(2, Link::wan(1.0, 100.0));
+        let slow = StarTopology::uniform(2, Link::wan(200.0, 100.0));
+        let rf = run_with(SchedulingPolicy::Fifo, fast, 2, 1);
+        let rs = run_with(SchedulingPolicy::Fifo, slow, 2, 1);
+        assert!(
+            rs.sim_seconds > rf.sim_seconds * 2.0,
+            "{} vs {}",
+            rs.sim_seconds,
+            rf.sim_seconds
+        );
+    }
+
+    #[test]
+    fn lossy_network_drops_but_still_completes() {
+        let top = StarTopology::new(vec![Link::wan(5.0, 100.0).loss(0.2), Link::wan(5.0, 100.0)]);
+        let r = run_with(SchedulingPolicy::Fifo, top, 2, 2);
+        assert!(r.network_drops > 0, "expected some drops");
+        // The lossless client served all its batches.
+        assert_eq!(r.served_per_client[1], 6);
+        // The lossy client completed fewer but did not wedge the run.
+        assert!(r.served_per_client[0] < 6);
+    }
+
+    #[test]
+    fn trace_records_protocol_events() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).batch_size(8).seed(4);
+        let train = data(32);
+        let test = data(8);
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap();
+        t.enable_trace();
+        t.run(&test);
+        let trace = t.trace().expect("trace enabled");
+        // 2 clients x 2 batches each: every batch arrives, is served, and
+        // its gradient is delivered.
+        use stsl_simnet::TraceKind;
+        assert_eq!(trace.count(TraceKind::Arrival), 4);
+        assert_eq!(trace.count(TraceKind::ServiceStart), 4);
+        assert_eq!(trace.count(TraceKind::GradientDelivered), 4);
+        assert_eq!(trace.count(TraceKind::SchedulerDrop), 0);
+        assert_eq!(trace.count(TraceKind::NetworkDrop), 0);
+        // CSV export is well-formed.
+        assert_eq!(trace.to_csv().lines().count(), 13);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let mk = || {
+            let top = StarTopology::latency_gradient(3, 1.0, 80.0, 50.0);
+            run_with(SchedulingPolicy::RoundRobin, top, 3, 1)
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.served_per_client, b.served_per_client);
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+    }
+
+    #[test]
+    fn time_budget_stops_early_and_biases_service_toward_near_clients() {
+        // One near, one far client, many epochs, tight budget: the near
+        // client gets served more — §II's bias, measurable only under a
+        // fixed time budget.
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(50)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let top = StarTopology::new(vec![Link::wan(1.0, 100.0), Link::wan(120.0, 100.0)]);
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap();
+        let budget = SimDuration::from_millis(3_000);
+        let r = t.run_with_budget(&test, Some(budget));
+        assert!(
+            r.sim_seconds <= budget.as_secs_f64() + 1.0,
+            "sim {}s",
+            r.sim_seconds
+        );
+        assert!(
+            r.served_per_client[0] > 2 * r.served_per_client[1],
+            "near client should dominate under a budget: {:?}",
+            r.served_per_client
+        );
+        assert!(r.service_imbalance > 0.1);
+    }
+
+    #[test]
+    fn staleness_policy_reports_drops_under_pressure() {
+        // Extremely slow server -> deep queue -> stale batches.
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let compute = ComputeModel {
+            client_batch: SimDuration::from_millis(1),
+            server_batch: SimDuration::from_millis(400),
+            retry_timeout: SimDuration::from_millis(100),
+        };
+        let top = StarTopology::uniform(2, Link::wan(1.0, 100.0));
+        let policy = SchedulingPolicy::StalenessDrop {
+            max_age: SimDuration::from_millis(50),
+        };
+        let mut t = AsyncSplitTrainer::new(cfg, &train, top, policy, compute).unwrap();
+        let r = t.run(&test);
+        assert!(
+            r.scheduler_drops > 0,
+            "expected stale drops, report {:?}",
+            r
+        );
+    }
+}

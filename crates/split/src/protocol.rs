@@ -1,0 +1,212 @@
+//! Wire messages exchanged between end-systems and the centralized server,
+//! with byte-accurate encoding for communication-cost accounting.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use stsl_simnet::EndSystemId;
+use stsl_tensor::{Shape, Tensor};
+
+/// Identifies one mini-batch computation within a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BatchId {
+    /// 0-based epoch.
+    pub epoch: u32,
+    /// 0-based batch index within the client's epoch.
+    pub batch: u32,
+}
+
+impl std::fmt::Display for BatchId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}b{}", self.epoch, self.batch)
+    }
+}
+
+/// Uplink message: smashed activations plus labels.
+///
+/// In the paper's configuration the server owns the output layer and the
+/// loss, so labels travel with the activations (standard split learning
+/// *with* label sharing; the raw images never leave the end-system).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivationMsg {
+    /// Originating end-system.
+    pub from: EndSystemId,
+    /// Which batch this is.
+    pub batch_id: BatchId,
+    /// Cut-layer activations, `[n, c, h, w]` (or `[n, f]` for dense cuts).
+    pub activations: Tensor,
+    /// Class labels, one per sample.
+    pub targets: Vec<usize>,
+}
+
+/// Downlink message: gradient of the loss w.r.t. the cut activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GradientMsg {
+    /// Destination end-system (the one that sent the activations).
+    pub to: EndSystemId,
+    /// Which batch the gradient answers.
+    pub batch_id: BatchId,
+    /// Gradient tensor, same shape as the activations.
+    pub grad: Tensor,
+}
+
+/// Fixed per-message header: sender id (u32), epoch (u32), batch (u32),
+/// rank (u8) + dims (u32 each) come on top per tensor.
+const HEADER_BYTES: usize = 12;
+
+fn tensor_encoded_len(t: &Tensor) -> usize {
+    1 + 4 * t.rank() + 4 * t.len()
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u8(t.rank() as u8);
+    for &d in t.dims() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut Bytes) -> Tensor {
+    let rank = buf.get_u8() as usize;
+    let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+    let shape = Shape::from(dims);
+    let data: Vec<f32> = (0..shape.len()).map(|_| buf.get_f32_le()).collect();
+    Tensor::from_vec(data, shape)
+}
+
+impl ActivationMsg {
+    /// Exact size of the encoded message in bytes (drives the simulated
+    /// serialization delay and the communication-cost experiment).
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + tensor_encoded_len(&self.activations) + 4 + 2 * self.targets.len()
+    }
+
+    /// Serializes to a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32_le(self.from.0 as u32);
+        buf.put_u32_le(self.batch_id.epoch);
+        buf.put_u32_le(self.batch_id.batch);
+        put_tensor(&mut buf, &self.activations);
+        buf.put_u32_le(self.targets.len() as u32);
+        for &t in &self.targets {
+            buf.put_u16_le(t as u16);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a buffer produced by [`ActivationMsg::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated input (messages travel on the in-process
+    /// simulator, not an untrusted network).
+    pub fn decode(mut bytes: Bytes) -> Self {
+        let from = EndSystemId(bytes.get_u32_le() as usize);
+        let epoch = bytes.get_u32_le();
+        let batch = bytes.get_u32_le();
+        let activations = get_tensor(&mut bytes);
+        let n = bytes.get_u32_le() as usize;
+        let targets = (0..n).map(|_| bytes.get_u16_le() as usize).collect();
+        ActivationMsg {
+            from,
+            batch_id: BatchId { epoch, batch },
+            activations,
+            targets,
+        }
+    }
+}
+
+impl GradientMsg {
+    /// Exact size of the encoded message in bytes.
+    pub fn encoded_len(&self) -> usize {
+        HEADER_BYTES + tensor_encoded_len(&self.grad)
+    }
+
+    /// Serializes to a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u32_le(self.to.0 as u32);
+        buf.put_u32_le(self.batch_id.epoch);
+        buf.put_u32_le(self.batch_id.batch);
+        put_tensor(&mut buf, &self.grad);
+        buf.freeze()
+    }
+
+    /// Deserializes a buffer produced by [`GradientMsg::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on truncated input.
+    pub fn decode(mut bytes: Bytes) -> Self {
+        let to = EndSystemId(bytes.get_u32_le() as usize);
+        let epoch = bytes.get_u32_le();
+        let batch = bytes.get_u32_le();
+        let grad = get_tensor(&mut bytes);
+        GradientMsg {
+            to,
+            batch_id: BatchId { epoch, batch },
+            grad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_tensor::init::rng_from_seed;
+
+    #[test]
+    fn activation_roundtrip() {
+        let msg = ActivationMsg {
+            from: EndSystemId(3),
+            batch_id: BatchId {
+                epoch: 2,
+                batch: 17,
+            },
+            activations: Tensor::randn([2, 4, 8, 8], &mut rng_from_seed(0)),
+            targets: vec![1, 9],
+        };
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        let back = ActivationMsg::decode(encoded);
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn gradient_roundtrip() {
+        let msg = GradientMsg {
+            to: EndSystemId(0),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            grad: Tensor::randn([3, 2], &mut rng_from_seed(1)),
+        };
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        assert_eq!(GradientMsg::decode(encoded), msg);
+    }
+
+    #[test]
+    fn encoded_len_scales_with_activation_volume() {
+        let small = ActivationMsg {
+            from: EndSystemId(0),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            activations: Tensor::zeros([1, 16, 16, 16]),
+            targets: vec![0],
+        };
+        let large = ActivationMsg {
+            from: EndSystemId(0),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            activations: Tensor::zeros([1, 16, 32, 32]),
+            targets: vec![0],
+        };
+        assert!(large.encoded_len() > 3 * small.encoded_len());
+    }
+
+    #[test]
+    fn batch_id_orders_lexicographically() {
+        let a = BatchId { epoch: 0, batch: 9 };
+        let b = BatchId { epoch: 1, batch: 0 };
+        assert!(a < b);
+        assert_eq!(a.to_string(), "e0b9");
+    }
+}

@@ -1,0 +1,166 @@
+//! Structured results emitted by trainers (serialized by the experiment
+//! harness into `results/*.json`).
+
+use serde::{Deserialize, Serialize};
+
+/// Communication totals over a whole training run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommReport {
+    /// Activation bytes, end-systems → server.
+    pub uplink_bytes: u64,
+    /// Gradient bytes, server → end-systems.
+    pub downlink_bytes: u64,
+    /// Activation messages sent.
+    pub uplink_messages: u64,
+    /// Gradient messages sent.
+    pub downlink_messages: u64,
+}
+
+impl CommReport {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.uplink_bytes + self.downlink_bytes
+    }
+}
+
+/// Metrics for one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// 0-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss across all server steps this epoch.
+    pub train_loss: f32,
+    /// Mean training-batch accuracy this epoch.
+    pub train_accuracy: f32,
+    /// Test accuracy after the epoch (mean over end-system encoders).
+    pub test_accuracy: f32,
+}
+
+/// Result of a synchronous spatio-temporal training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Label of the run (e.g. the Table I row).
+    pub label: String,
+    /// Number of end-systems.
+    pub end_systems: usize,
+    /// Cut depth in blocks.
+    pub cut_blocks: usize,
+    /// Per-epoch metrics.
+    pub epochs: Vec<EpochStats>,
+    /// Final test accuracy (mean over end-system encoders).
+    pub final_accuracy: f32,
+    /// Final test accuracy per end-system encoder.
+    pub per_client_accuracy: Vec<f32>,
+    /// Communication totals.
+    pub comm: CommReport,
+    /// Wall-clock seconds the run took (host time, informational).
+    pub wall_seconds: f64,
+}
+
+impl TrainReport {
+    /// Best test accuracy over all epochs (the number Table I reports).
+    pub fn best_accuracy(&self) -> f32 {
+        self.epochs
+            .iter()
+            .map(|e| e.test_accuracy)
+            .fold(self.final_accuracy, f32::max)
+    }
+}
+
+/// Result of an asynchronous (network-simulated) training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsyncReport {
+    /// Scheduling policy label.
+    pub policy: String,
+    /// Number of end-systems.
+    pub end_systems: usize,
+    /// Cut depth in blocks.
+    pub cut_blocks: usize,
+    /// Simulated seconds until the pipeline drained.
+    pub sim_seconds: f64,
+    /// Final test accuracy (mean over end-system encoders).
+    pub final_accuracy: f32,
+    /// Batches the server processed, per end-system.
+    pub served_per_client: Vec<u64>,
+    /// Coefficient of variation of per-client service (0 = fair).
+    pub service_imbalance: f64,
+    /// Mean arrival-queue depth.
+    pub mean_queue_depth: f64,
+    /// Maximum arrival-queue depth.
+    pub max_queue_depth: usize,
+    /// Mean queueing delay of served batches, in milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Batches discarded by the scheduler (staleness policy).
+    pub scheduler_drops: u64,
+    /// Messages lost by the network.
+    pub network_drops: u64,
+    /// Communication totals.
+    pub comm: CommReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_report_totals() {
+        let c = CommReport {
+            uplink_bytes: 100,
+            downlink_bytes: 50,
+            uplink_messages: 2,
+            downlink_messages: 2,
+        };
+        assert_eq!(c.total_bytes(), 150);
+    }
+
+    #[test]
+    fn best_accuracy_considers_all_epochs() {
+        let r = TrainReport {
+            label: "x".into(),
+            end_systems: 1,
+            cut_blocks: 0,
+            epochs: vec![
+                EpochStats {
+                    epoch: 0,
+                    train_loss: 1.0,
+                    train_accuracy: 0.3,
+                    test_accuracy: 0.5,
+                },
+                EpochStats {
+                    epoch: 1,
+                    train_loss: 0.8,
+                    train_accuracy: 0.5,
+                    test_accuracy: 0.7,
+                },
+            ],
+            final_accuracy: 0.65,
+            per_client_accuracy: vec![0.65],
+            comm: CommReport::default(),
+            wall_seconds: 0.0,
+        };
+        assert_eq!(r.best_accuracy(), 0.7);
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let r = AsyncReport {
+            policy: "fifo".into(),
+            end_systems: 2,
+            cut_blocks: 1,
+            sim_seconds: 1.5,
+            final_accuracy: 0.4,
+            served_per_client: vec![3, 4],
+            service_imbalance: 0.1,
+            mean_queue_depth: 0.5,
+            max_queue_depth: 2,
+            mean_queue_wait_ms: 3.0,
+            scheduler_drops: 0,
+            network_drops: 1,
+            comm: CommReport::default(),
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("fifo"));
+        let back: AsyncReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.served_per_client, vec![3, 4]);
+    }
+}

@@ -1,0 +1,315 @@
+//! The server-side arrival queue and its scheduling policies.
+//!
+//! §II of the paper: "The centralized server requires queue while gathering
+//! the results of the first hidden layers in end-systems … If an
+//! end-system is located very far from the centralized server, the
+//! parameters can arrive lately or sparsely. Then, the learning
+//! performance can be biased … Thus, parameter scheduling is required
+//! depending on applications, i.e., a queue data structure needs to be
+//! defined." The paper leaves the policy open; we implement three and
+//! measure them (experiment E4 in DESIGN.md).
+
+use crate::protocol::ActivationMsg;
+use std::collections::VecDeque;
+use stsl_simnet::{SimDuration, SimTime};
+
+/// How the server picks the next queued activation batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// Serve strictly in arrival order. Fast/near clients dominate under
+    /// latency heterogeneity.
+    Fifo,
+    /// Serve the pending batch of the *least-served* end-system first
+    /// (ties to the earliest arrival). Equalizes contributions.
+    RoundRobin,
+    /// FIFO, but discard batches that waited longer than `max_age` —
+    /// bounding staleness at the cost of dropped work.
+    StalenessDrop {
+        /// Maximum queueing age before a batch is discarded.
+        max_age: SimDuration,
+    },
+}
+
+impl std::fmt::Display for SchedulingPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulingPolicy::Fifo => write!(f, "fifo"),
+            SchedulingPolicy::RoundRobin => write!(f, "round-robin"),
+            SchedulingPolicy::StalenessDrop { max_age } => {
+                write!(f, "staleness-drop({})", max_age)
+            }
+        }
+    }
+}
+
+/// One queued activation batch with its arrival metadata.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// When the batch reached the server.
+    pub arrived_at: SimTime,
+    /// The activation payload.
+    pub msg: ActivationMsg,
+}
+
+/// The server's arrival queue.
+#[derive(Debug)]
+pub struct ArrivalQueue {
+    policy: SchedulingPolicy,
+    pending: VecDeque<QueuedJob>,
+    served_per_client: Vec<u64>,
+    dropped: u64,
+    depth_samples: Vec<usize>,
+    wait_samples: Vec<SimDuration>,
+}
+
+impl ArrivalQueue {
+    /// Creates a queue for `end_systems` clients under `policy`.
+    pub fn new(policy: SchedulingPolicy, end_systems: usize) -> Self {
+        ArrivalQueue {
+            policy,
+            pending: VecDeque::new(),
+            served_per_client: vec![0; end_systems],
+            dropped: 0,
+            depth_samples: Vec::new(),
+            wait_samples: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> SchedulingPolicy {
+        self.policy
+    }
+
+    /// Number of batches waiting.
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Batches discarded by the staleness policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Enqueues an arrival, sampling the queue depth *after* insertion.
+    pub fn push(&mut self, arrived_at: SimTime, msg: ActivationMsg) {
+        self.pending.push_back(QueuedJob { arrived_at, msg });
+        self.depth_samples.push(self.pending.len());
+    }
+
+    /// Pops the next batch to serve at time `now` according to the policy.
+    ///
+    /// For [`SchedulingPolicy::StalenessDrop`], expired batches are
+    /// discarded (and counted) before selection; their originating clients
+    /// are reported in the second tuple element so the trainer can notify
+    /// them.
+    pub fn pop(&mut self, now: SimTime) -> (Option<QueuedJob>, Vec<ActivationMsg>) {
+        let mut discarded = Vec::new();
+        if let SchedulingPolicy::StalenessDrop { max_age } = self.policy {
+            while let Some(front) = self.pending.front() {
+                if now.since(front.arrived_at) > max_age {
+                    let job = self.pending.pop_front().expect("front exists");
+                    self.dropped += 1;
+                    discarded.push(job.msg);
+                } else {
+                    break;
+                }
+            }
+        }
+        let chosen = match self.policy {
+            SchedulingPolicy::Fifo | SchedulingPolicy::StalenessDrop { .. } => {
+                self.pending.pop_front()
+            }
+            SchedulingPolicy::RoundRobin => {
+                let best = self
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(pos, job)| (self.served_per_client[job.msg.from.0], *pos))
+                    .map(|(pos, _)| pos);
+                best.and_then(|pos| self.pending.remove(pos))
+            }
+        };
+        if let Some(job) = &chosen {
+            self.served_per_client[job.msg.from.0] += 1;
+            self.wait_samples.push(now.since(job.arrived_at));
+        }
+        (chosen, discarded)
+    }
+
+    /// Mean queue depth observed at arrival instants.
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_samples.is_empty() {
+            return 0.0;
+        }
+        self.depth_samples.iter().map(|&d| d as f64).sum::<f64>() / self.depth_samples.len() as f64
+    }
+
+    /// Maximum observed queue depth.
+    pub fn max_depth(&self) -> usize {
+        self.depth_samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean queueing delay of served batches.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.wait_samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let sum: u64 = self.wait_samples.iter().map(|d| d.as_micros()).sum();
+        SimDuration::from_micros(sum / self.wait_samples.len() as u64)
+    }
+
+    /// Served-batch counts per end-system.
+    pub fn served_per_client(&self) -> &[u64] {
+        &self.served_per_client
+    }
+
+    /// Coefficient of variation of per-client service counts: 0 means
+    /// perfectly fair, higher means the schedule is biased towards some
+    /// clients — the "biased learning" failure mode §II warns about.
+    pub fn service_imbalance(&self) -> f64 {
+        let n = self.served_per_client.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = self
+            .served_per_client
+            .iter()
+            .map(|&c| c as f64)
+            .sum::<f64>()
+            / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .served_per_client
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BatchId;
+    use stsl_simnet::EndSystemId;
+    use stsl_tensor::Tensor;
+
+    fn msg(from: usize, batch: u32) -> ActivationMsg {
+        ActivationMsg {
+            from: EndSystemId(from),
+            batch_id: BatchId { epoch: 0, batch },
+            activations: Tensor::zeros([1, 1, 1, 1]),
+            targets: vec![0],
+        }
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn fifo_serves_in_arrival_order() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 2);
+        q.push(t(1), msg(0, 0));
+        q.push(t(2), msg(1, 0));
+        q.push(t(3), msg(0, 1));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop(t(10)).0)
+            .map(|j| j.msg.batch_id.batch * 10 + j.msg.from.0 as u32)
+            .collect();
+        assert_eq!(order, vec![0, 1, 10]);
+    }
+
+    #[test]
+    fn round_robin_prefers_underserved_client() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, 2);
+        // Client 0 floods the queue; client 1 has one batch.
+        q.push(t(1), msg(0, 0));
+        q.push(t(2), msg(0, 1));
+        q.push(t(3), msg(0, 2));
+        q.push(t(4), msg(1, 0));
+        let first = q.pop(t(5)).0.unwrap();
+        assert_eq!(first.msg.from, EndSystemId(0));
+        // Now client 0 has been served once, so client 1 goes next even
+        // though its batch arrived last.
+        let second = q.pop(t(6)).0.unwrap();
+        assert_eq!(second.msg.from, EndSystemId(1));
+    }
+
+    #[test]
+    fn round_robin_equalizes_service_counts() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, 3);
+        for b in 0..4 {
+            q.push(t(b), msg(0, b as u32)); // near client floods
+        }
+        q.push(t(10), msg(1, 0));
+        q.push(t(11), msg(2, 0));
+        for _ in 0..6 {
+            q.pop(t(20));
+        }
+        assert_eq!(q.served_per_client(), &[4, 1, 1]);
+    }
+
+    #[test]
+    fn staleness_drop_discards_old_batches() {
+        let policy = SchedulingPolicy::StalenessDrop {
+            max_age: SimDuration::from_millis(10),
+        };
+        let mut q = ArrivalQueue::new(policy, 2);
+        q.push(t(0), msg(0, 0)); // will be 50 ms old
+        q.push(t(45), msg(1, 0)); // 5 ms old
+        let (job, discarded) = q.pop(t(50));
+        assert_eq!(discarded.len(), 1);
+        assert_eq!(discarded[0].from, EndSystemId(0));
+        assert_eq!(job.unwrap().msg.from, EndSystemId(1));
+        assert_eq!(q.dropped(), 1);
+    }
+
+    #[test]
+    fn statistics_track_depth_and_wait() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 1);
+        q.push(t(0), msg(0, 0));
+        q.push(t(0), msg(0, 1));
+        assert_eq!(q.max_depth(), 2);
+        assert!((q.mean_depth() - 1.5).abs() < 1e-9);
+        q.pop(t(4));
+        assert_eq!(q.mean_wait().as_millis(), 4);
+    }
+
+    #[test]
+    fn service_imbalance_zero_when_fair() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 2);
+        q.push(t(0), msg(0, 0));
+        q.push(t(1), msg(1, 0));
+        q.pop(t(2));
+        q.pop(t(2));
+        assert_eq!(q.service_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn service_imbalance_positive_when_skewed() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 2);
+        for b in 0..4 {
+            q.push(t(b), msg(0, b as u32));
+        }
+        for _ in 0..4 {
+            q.pop(t(10));
+        }
+        assert!(q.service_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, 1);
+        let (job, discarded) = q.pop(t(0));
+        assert!(job.is_none());
+        assert!(discarded.is_empty());
+    }
+}

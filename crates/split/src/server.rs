@@ -1,0 +1,224 @@
+//! The centralized server: upper layers, loss, and the single shared model
+//! trained on every end-system's smashed activations.
+
+use crate::protocol::{ActivationMsg, GradientMsg};
+use stsl_data::ImageDataset;
+use stsl_nn::loss::{Loss, SoftmaxCrossEntropy};
+use stsl_nn::metrics::RunningMean;
+use stsl_nn::optim::Optimizer;
+use stsl_nn::{Mode, Sequential};
+use stsl_tensor::Tensor;
+
+/// Result of the server processing one activation batch.
+#[derive(Debug, Clone)]
+pub struct ServerStepOutput {
+    /// Gradient message to return to the originating end-system.
+    pub gradient: GradientMsg,
+    /// Mean loss on this batch.
+    pub loss: f32,
+    /// Training-batch accuracy (cheap progress signal).
+    pub batch_accuracy: f32,
+}
+
+/// The centralized server of Fig. 2.
+///
+/// It owns layers `L_{k+1}..` plus the dense head and the loss, and is the
+/// only place where data from *all* end-systems meets — which is exactly
+/// why the paper's scheme achieves near-centralized accuracy.
+#[derive(Debug)]
+pub struct CentralServer {
+    model: Sequential,
+    loss: SoftmaxCrossEntropy,
+    opt: Box<dyn Optimizer>,
+    steps: u64,
+    served_per_client: Vec<u64>,
+    train_loss: RunningMean,
+}
+
+impl CentralServer {
+    /// Creates a server over the upper `model` half.
+    pub fn new(model: Sequential, opt: Box<dyn Optimizer>, end_systems: usize) -> Self {
+        CentralServer {
+            model,
+            loss: SoftmaxCrossEntropy::new(),
+            opt,
+            steps: 0,
+            served_per_client: vec![0; end_systems],
+            train_loss: RunningMean::new(),
+        }
+    }
+
+    /// Total batches processed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Batches processed per originating end-system — the contribution
+    /// histogram the scheduling experiments analyze for bias.
+    pub fn served_per_client(&self) -> &[u64] {
+        &self.served_per_client
+    }
+
+    /// Running mean of training losses since construction.
+    pub fn mean_train_loss(&self) -> Option<f32> {
+        self.train_loss.mean()
+    }
+
+    /// Processes one activation batch: forward through the upper layers,
+    /// loss, backward, optimizer step, and the cut-layer gradient to send
+    /// back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message's client id is out of range or shapes are
+    /// inconsistent with the model.
+    pub fn process(&mut self, msg: &ActivationMsg) -> ServerStepOutput {
+        assert!(
+            msg.from.0 < self.served_per_client.len(),
+            "unknown end-system {}",
+            msg.from
+        );
+        self.model.zero_grads();
+        let logits = self.model.forward(&msg.activations, Mode::Train);
+        let out = self.loss.forward(&logits, &msg.targets);
+        let cut_grad = self.model.backward(&out.grad);
+        self.model.step(self.opt.as_mut());
+        self.steps += 1;
+        self.served_per_client[msg.from.0] += 1;
+        self.train_loss.push(out.value);
+        let preds = logits.argmax_rows();
+        let hits = preds
+            .iter()
+            .zip(&msg.targets)
+            .filter(|(p, t)| p == t)
+            .count();
+        ServerStepOutput {
+            gradient: GradientMsg {
+                to: msg.from,
+                batch_id: msg.batch_id,
+                grad: cut_grad,
+            },
+            loss: out.value,
+            batch_accuracy: hits as f32 / msg.targets.len().max(1) as f32,
+        }
+    }
+
+    /// Inference through the upper layers only (activations already
+    /// encoded by some end-system).
+    pub fn infer(&mut self, activations: &Tensor) -> Tensor {
+        self.model.forward(activations, Mode::Eval)
+    }
+
+    /// Evaluates accuracy on `test` using `encode` to run an end-system's
+    /// private encoder, in batches of `batch_size`.
+    pub fn evaluate_with_encoder(
+        &mut self,
+        test: &ImageDataset,
+        batch_size: usize,
+        mut encode: impl FnMut(&Tensor) -> Tensor,
+    ) -> f32 {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        let mut start = 0;
+        while start < test.len() {
+            let end = (start + batch_size).min(test.len());
+            let indices: Vec<usize> = (start..end).collect();
+            let (images, targets) = test.batch(&indices);
+            let encoded = encode(&images);
+            let logits = self.infer(&encoded);
+            let preds = logits.argmax_rows();
+            hits += preds.iter().zip(&targets).filter(|(p, t)| p == t).count();
+            total += targets.len();
+            start = end;
+        }
+        hits as f32 / total.max(1) as f32
+    }
+
+    /// The upper model (for checkpointing in experiments).
+    pub fn model_mut(&mut self) -> &mut Sequential {
+        &mut self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CnnArch, CutPoint};
+    use crate::protocol::BatchId;
+    use stsl_data::SyntheticCifar;
+    use stsl_nn::optim::Sgd;
+    use stsl_simnet::EndSystemId;
+    use stsl_tensor::init::rng_from_seed;
+
+    fn make_server(cut: usize) -> (CentralServer, CnnArch) {
+        let arch = CnnArch::tiny();
+        let (_, upper) = arch.build_split(CutPoint(cut), 11);
+        (CentralServer::new(upper, Box::new(Sgd::new(0.05)), 2), arch)
+    }
+
+    fn activation_msg(arch: &CnnArch, cut: usize, n: usize, from: usize) -> ActivationMsg {
+        let dims = arch.cut_dims(CutPoint(cut), n);
+        ActivationMsg {
+            from: EndSystemId(from),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            activations: Tensor::randn(dims, &mut rng_from_seed(3)),
+            targets: (0..n).map(|i| i % arch.classes).collect(),
+        }
+    }
+
+    #[test]
+    fn process_returns_matching_gradient() {
+        let (mut server, arch) = make_server(1);
+        let msg = activation_msg(&arch, 1, 4, 0);
+        let out = server.process(&msg);
+        assert_eq!(out.gradient.grad.dims(), msg.activations.dims());
+        assert_eq!(out.gradient.to, msg.from);
+        assert_eq!(out.gradient.batch_id, msg.batch_id);
+        assert!(out.loss > 0.0);
+        assert!(server.mean_train_loss().is_some());
+    }
+
+    #[test]
+    fn process_counts_per_client() {
+        let (mut server, arch) = make_server(1);
+        server.process(&activation_msg(&arch, 1, 2, 0));
+        server.process(&activation_msg(&arch, 1, 2, 1));
+        server.process(&activation_msg(&arch, 1, 2, 1));
+        assert_eq!(server.served_per_client(), &[1, 2]);
+        assert_eq!(server.steps(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown end-system")]
+    fn process_rejects_unknown_client() {
+        let (mut server, arch) = make_server(1);
+        server.process(&activation_msg(&arch, 1, 2, 5));
+    }
+
+    #[test]
+    fn repeated_steps_reduce_loss_on_fixed_batch() {
+        let (mut server, arch) = make_server(0);
+        let data = SyntheticCifar::new(1).generate_sized(16, arch.image_side);
+        let (images, targets) = data.batch(&(0..16).collect::<Vec<_>>());
+        let msg = ActivationMsg {
+            from: EndSystemId(0),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            activations: images,
+            targets,
+        };
+        let first = server.process(&msg).loss;
+        let mut last = first;
+        for _ in 0..25 {
+            last = server.process(&msg).loss;
+        }
+        assert!(last < first * 0.8, "loss {} -> {}", first, last);
+    }
+
+    #[test]
+    fn evaluate_with_identity_encoder() {
+        let (mut server, arch) = make_server(0);
+        let test = SyntheticCifar::new(2).generate_sized(20, arch.image_side);
+        let acc = server.evaluate_with_encoder(&test, 8, |x| x.clone());
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,339 @@
+//! The synchronous spatio-temporal split-learning trainer.
+//!
+//! This is the paper's Fig. 2 pipeline run in-process with no simulated
+//! network: end-systems take turns (round-robin over batch indices)
+//! sending smashed activations to the one centralized server, which trains
+//! the shared upper model on *all* of them and returns cut-layer
+//! gradients. It reproduces Table I.
+
+use crate::client::EndSystem;
+use crate::config::SplitConfig;
+use crate::report::{CommReport, EpochStats, TrainReport};
+use crate::server::CentralServer;
+use stsl_data::{ImageDataset, Partition};
+use stsl_nn::metrics::RunningMean;
+use stsl_simnet::EndSystemId;
+use stsl_tensor::init::derive_seed;
+
+/// Error constructing a trainer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Orchestrates multiple [`EndSystem`]s and one [`CentralServer`].
+#[derive(Debug)]
+pub struct SpatioTemporalTrainer {
+    config: SplitConfig,
+    server: CentralServer,
+    clients: Vec<EndSystem>,
+    comm: CommReport,
+}
+
+impl SpatioTemporalTrainer {
+    /// Builds the trainer: validates the configuration, partitions
+    /// `train` across end-systems, builds each end-system's **private**
+    /// lower model (unique seed per end-system — the paper's individual
+    /// first hidden layers) and the server's shared upper model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is inconsistent or the
+    /// dataset is too small to shard.
+    pub fn new(config: SplitConfig, train: &ImageDataset) -> Result<Self, ConfigError> {
+        config.validate().map_err(ConfigError)?;
+        if train.len() < config.end_systems {
+            return Err(ConfigError(format!(
+                "{} samples cannot be split across {} end-systems",
+                train.len(),
+                config.end_systems
+            )));
+        }
+        let partition: Partition = config.partition.into();
+        let shards = partition.split(train, config.end_systems, derive_seed(config.seed, 7));
+        let (_, server_model) = config.arch.build_split(config.cut, config.seed);
+        let server = CentralServer::new(server_model, config.build_optimizer(), config.end_systems);
+        let clients = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let client_seed = derive_seed(config.seed, 1000 + i as u64);
+                let (client_model, _) = config.arch.build_split(config.cut, client_seed);
+                EndSystem::new(
+                    EndSystemId(i),
+                    client_model,
+                    shard,
+                    config.batch_size,
+                    config.build_optimizer(),
+                    config.augment,
+                    client_seed,
+                )
+                .with_smash_noise(config.smash_noise)
+            })
+            .collect();
+        Ok(SpatioTemporalTrainer {
+            config,
+            server,
+            clients,
+            comm: CommReport::default(),
+        })
+    }
+
+    /// The configuration this trainer runs.
+    pub fn config(&self) -> &SplitConfig {
+        &self.config
+    }
+
+    /// The end-systems (for inspection and the privacy experiments).
+    pub fn clients_mut(&mut self) -> &mut [EndSystem] {
+        &mut self.clients
+    }
+
+    /// The centralized server.
+    pub fn server_mut(&mut self) -> &mut CentralServer {
+        &mut self.server
+    }
+
+    /// Runs one epoch: every *participating* end-system passes once over
+    /// its shard, with batches interleaved round-robin at the server.
+    /// With `config.participation < 1.0`, each end-system independently
+    /// skips the epoch with probability `1 - participation` (at least one
+    /// always participates). Returns `(mean loss, mean batch accuracy)`.
+    pub fn run_epoch(&mut self, epoch: usize) -> (f32, f32) {
+        let participating = self.sample_participants(epoch);
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if participating[i] {
+                c.begin_epoch(epoch as u64);
+            }
+        }
+        let mut loss = RunningMean::new();
+        let mut acc = RunningMean::new();
+        let mut remaining = true;
+        while remaining {
+            remaining = false;
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                if !participating[i] {
+                    continue;
+                }
+                let Some(msg) = c.next_batch() else { continue };
+                remaining = true;
+                self.comm.uplink_bytes += msg.encoded_len() as u64;
+                self.comm.uplink_messages += 1;
+                let out = self.server.process(&msg);
+                self.comm.downlink_bytes += out.gradient.encoded_len() as u64;
+                self.comm.downlink_messages += 1;
+                c.apply_gradient(&out.gradient);
+                loss.push(out.loss);
+                acc.push(out.batch_accuracy);
+            }
+        }
+        (loss.mean().unwrap_or(0.0), acc.mean().unwrap_or(0.0))
+    }
+
+    /// Samples which end-systems take part in `epoch`, deterministically
+    /// from the run seed. Guarantees at least one participant.
+    fn sample_participants(&self, epoch: usize) -> Vec<bool> {
+        let p = self.config.participation;
+        if p >= 1.0 {
+            return vec![true; self.clients.len()];
+        }
+        use rand::Rng;
+        let mut rng =
+            stsl_tensor::init::rng_from_seed(derive_seed(self.config.seed, 0x9A47 ^ epoch as u64));
+        let mut participating: Vec<bool> = (0..self.clients.len())
+            .map(|_| rng.gen::<f32>() < p)
+            .collect();
+        if participating.iter().all(|&x| !x) {
+            let lucky = rng.gen_range(0..self.clients.len());
+            participating[lucky] = true;
+        }
+        participating
+    }
+
+    /// Test accuracy per end-system encoder.
+    pub fn evaluate_per_client(&mut self, test: &ImageDataset) -> Vec<f32> {
+        let batch = self.config.batch_size.max(32);
+        self.clients
+            .iter_mut()
+            .map(|c| {
+                self.server
+                    .evaluate_with_encoder(test, batch, |x| c.encode(x))
+            })
+            .collect()
+    }
+
+    /// Mean test accuracy over end-system encoders — the deployment-time
+    /// number (each hospital serves predictions through its own encoder
+    /// plus the shared server).
+    pub fn evaluate(&mut self, test: &ImageDataset) -> f32 {
+        let per = self.evaluate_per_client(test);
+        per.iter().sum::<f32>() / per.len().max(1) as f32
+    }
+
+    /// Runs the full configured training, evaluating after every epoch.
+    pub fn train(&mut self, test: &ImageDataset) -> TrainReport {
+        let start = std::time::Instant::now();
+        let mut epochs = Vec::with_capacity(self.config.epochs);
+        for e in 0..self.config.epochs {
+            let (train_loss, train_accuracy) = self.run_epoch(e);
+            let test_accuracy = self.evaluate(test);
+            epochs.push(EpochStats {
+                epoch: e,
+                train_loss,
+                train_accuracy,
+                test_accuracy,
+            });
+        }
+        let per_client_accuracy = self.evaluate_per_client(test);
+        let final_accuracy =
+            per_client_accuracy.iter().sum::<f32>() / per_client_accuracy.len().max(1) as f32;
+        TrainReport {
+            label: self.config.cut.label(),
+            end_systems: self.config.end_systems,
+            cut_blocks: self.config.cut.blocks(),
+            epochs,
+            final_accuracy,
+            per_client_accuracy,
+            comm: self.comm,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Communication totals so far.
+    pub fn comm(&self) -> CommReport {
+        self.comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CutPoint;
+    use stsl_data::SyntheticCifar;
+
+    fn data(n: usize) -> ImageDataset {
+        SyntheticCifar::new(3)
+            .difficulty(0.05)
+            .generate_sized(n, 16)
+    }
+
+    #[test]
+    fn construction_validates() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2);
+        assert!(SpatioTemporalTrainer::new(cfg, &data(40)).is_ok());
+        let bad = SplitConfig::tiny(CutPoint(1), 0);
+        assert!(SpatioTemporalTrainer::new(bad, &data(40)).is_err());
+    }
+
+    #[test]
+    fn dataset_smaller_than_clients_rejected() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 8);
+        let err = SpatioTemporalTrainer::new(cfg, &data(4)).unwrap_err();
+        assert!(err.to_string().contains("cannot be split"));
+    }
+
+    #[test]
+    fn one_epoch_processes_every_batch_once() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).batch_size(8);
+        let mut t = SpatioTemporalTrainer::new(cfg, &data(48)).unwrap();
+        t.run_epoch(0);
+        // 48 samples, 2 clients × 24 samples -> 3 batches each.
+        assert_eq!(t.server_mut().steps(), 6);
+        assert_eq!(t.server_mut().served_per_client(), &[3, 3]);
+        assert_eq!(t.comm().uplink_messages, 6);
+        assert_eq!(t.comm().downlink_messages, 6);
+    }
+
+    #[test]
+    fn training_improves_over_random_chance() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(6)
+            .learning_rate(0.01)
+            .seed(1);
+        let train = data(200);
+        let test = SyntheticCifar::new(77)
+            .difficulty(0.05)
+            .generate_sized(60, 16);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        let report = t.train(&test);
+        assert!(
+            report.final_accuracy > 0.2,
+            "accuracy {} not better than chance",
+            report.final_accuracy
+        );
+        assert_eq!(report.epochs.len(), 6);
+        assert_eq!(report.per_client_accuracy.len(), 2);
+        // Loss decreased over training.
+        assert!(report.epochs.last().unwrap().train_loss < report.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_reports() {
+        let run = || {
+            let cfg = SplitConfig::tiny(CutPoint(2), 2).epochs(1).seed(5);
+            let train = data(60);
+            let test = data(30);
+            SpatioTemporalTrainer::new(cfg, &train)
+                .unwrap()
+                .train(&test)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.epochs[0].train_loss, b.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn partial_participation_skips_clients_some_epochs() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 4)
+            .epochs(1)
+            .batch_size(8)
+            .participation(0.5)
+            .seed(2);
+        let mut t = SpatioTemporalTrainer::new(cfg, &data(64)).unwrap();
+        // Run several epochs; total served batches must be strictly fewer
+        // than full participation would produce (4 clients × 2 batches ×
+        // 6 epochs = 48), and every client id stays within range.
+        for e in 0..6 {
+            t.run_epoch(e);
+        }
+        let total: u64 = t.server_mut().served_per_client().iter().sum();
+        assert!(total < 48, "expected skipped epochs, served {}", total);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn full_participation_is_default() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).batch_size(8);
+        assert_eq!(cfg.participation, 1.0);
+        assert!(SplitConfig::tiny(CutPoint(1), 1)
+            .participation(0.0)
+            .validate()
+            .is_err());
+        assert!(SplitConfig::tiny(CutPoint(1), 1)
+            .participation(1.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_cut_depth() {
+        // Deeper cuts produce smaller activations (pooling shrinks them).
+        let bytes_at = |k: usize| {
+            let cfg = SplitConfig::tiny(CutPoint(k), 1).epochs(1).batch_size(10);
+            let train = data(20);
+            let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+            t.run_epoch(0);
+            t.comm().uplink_bytes
+        };
+        let shallow = bytes_at(1);
+        let deep = bytes_at(3);
+        assert!(shallow > deep, "uplink {} should exceed {}", shallow, deep);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for fallible tensor operations.
+
+use crate::Shape;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// Most tensor kernels have panicking fast paths (shape mismatches are
+/// programming errors in training loops), but the `try_`-prefixed entry
+/// points return this instead, which is what library layers should use when
+/// shapes come from untrusted configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands could not be broadcast together.
+    BroadcastMismatch {
+        /// Left operand shape.
+        lhs: Shape,
+        /// Right operand shape.
+        rhs: Shape,
+    },
+    /// A reshape was requested to a shape of different total length.
+    LengthMismatch {
+        /// Shape of the source tensor.
+        from: Shape,
+        /// Requested shape.
+        to: Shape,
+    },
+    /// An axis argument exceeded the tensor rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A matrix/convolution kernel received incompatible operand shapes.
+    IncompatibleShapes {
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+    /// Raw element data did not match the declared shape.
+    DataLengthMismatch {
+        /// Number of elements supplied.
+        got: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "cannot broadcast {} with {}", lhs, rhs)
+            }
+            TensorError::LengthMismatch { from, to } => write!(
+                f,
+                "cannot reshape {} ({} elements) to {} ({} elements)",
+                from,
+                from.len(),
+                to,
+                to.len()
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {} out of range for rank {}", axis, rank)
+            }
+            TensorError::IncompatibleShapes { reason } => {
+                write!(f, "incompatible shapes: {}", reason)
+            }
+            TensorError::DataLengthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "data length {} does not match shape length {}",
+                    got, expected
+                )
+            }
+        }
+    }
+}
+
+impl StdError for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        let msg = e.to_string();
+        assert!(msg.starts_with("axis"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,7 @@
+//! Numeric kernels: reductions, GEMM, convolution, pooling.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;

@@ -1,0 +1,307 @@
+//! Max and average pooling with backward passes.
+
+use crate::ops::conv::ConvSpec;
+use crate::Tensor;
+
+/// Result of a max-pooling forward pass.
+///
+/// `argmax` stores, for every output element, the flat index (within the
+/// whole input tensor) of the input element that won the max — exactly what
+/// the backward pass needs to route gradients.
+#[derive(Debug, Clone)]
+pub struct MaxPool2dForward {
+    /// Pooled activations, `[n, c, oh, ow]`.
+    pub output: Tensor,
+    /// Flat input index of each selected maximum.
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pooling forward pass over an `[n, c, h, w]` tensor.
+///
+/// Windows that extend past the input edge (when `h`/`w` is not a multiple
+/// of the stride) are truncated, matching Keras' `MaxPooling2D` default.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or the window does not fit.
+pub fn maxpool2d_forward(input: &Tensor, spec: ConvSpec) -> MaxPool2dForward {
+    assert_eq!(
+        input.rank(),
+        4,
+        "maxpool2d requires NCHW input, got {}",
+        input.shape()
+    );
+    assert_eq!(spec.pad, 0, "maxpool2d does not support padding");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (oh, ow) = spec
+        .output_hw(h, w)
+        .expect("pooling window does not fit input");
+    let src = input.as_slice();
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    let mut argmax = Vec::with_capacity(n * c * oh * ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane_off = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let y0 = oi * spec.stride;
+                    let x0 = oj * spec.stride;
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = plane_off + y0 * w + x0;
+                    for ky in 0..spec.kh.min(h - y0) {
+                        for kx in 0..spec.kw.min(w - x0) {
+                            let idx = plane_off + (y0 + ky) * w + (x0 + kx);
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out.push(best);
+                    argmax.push(best_idx);
+                }
+            }
+        }
+    }
+    MaxPool2dForward {
+        output: Tensor::from_vec(out, [n, c, oh, ow]),
+        argmax,
+    }
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input
+/// element that produced the maximum.
+///
+/// # Panics
+///
+/// Panics if `dout.len() != argmax.len()`.
+pub fn maxpool2d_backward(dout: &Tensor, argmax: &[usize], input_len: usize) -> Tensor {
+    assert_eq!(dout.len(), argmax.len(), "dout/argmax length mismatch");
+    let mut dinput = vec![0.0f32; input_len];
+    for (g, &idx) in dout.as_slice().iter().zip(argmax) {
+        dinput[idx] += g;
+    }
+    Tensor::from_vec(dinput, [input_len])
+}
+
+/// Average-pooling forward pass (used by ablations; the paper's CNN uses
+/// max pooling only).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or the window does not fit.
+pub fn avgpool2d_forward(input: &Tensor, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.rank(), 4, "avgpool2d requires NCHW input");
+    assert_eq!(spec.pad, 0, "avgpool2d does not support padding");
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (oh, ow) = spec
+        .output_hw(h, w)
+        .expect("pooling window does not fit input");
+    let src = input.as_slice();
+    let mut out = Vec::with_capacity(n * c * oh * ow);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane_off = (ni * c + ci) * h * w;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let y0 = oi * spec.stride;
+                    let x0 = oj * spec.stride;
+                    let hh = spec.kh.min(h - y0);
+                    let ww = spec.kw.min(w - x0);
+                    let mut acc = 0.0;
+                    for ky in 0..hh {
+                        for kx in 0..ww {
+                            acc += src[plane_off + (y0 + ky) * w + (x0 + kx)];
+                        }
+                    }
+                    out.push(acc / (hh * ww) as f32);
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, [n, c, oh, ow])
+}
+
+/// Average-pooling backward pass: each output gradient is spread equally
+/// over its window. Exact adjoint of [`avgpool2d_forward`].
+///
+/// # Panics
+///
+/// Panics on shape mismatch with the forward geometry.
+pub fn avgpool2d_backward(
+    dout: &Tensor,
+    input_dims: (usize, usize, usize, usize),
+    spec: ConvSpec,
+) -> Tensor {
+    let (n, c, h, w) = input_dims;
+    let (oh, ow) = spec.output_hw(h, w).expect("pooling window does not fit input");
+    assert_eq!(dout.dims(), &[n, c, oh, ow], "dout shape mismatch");
+    let g = dout.as_slice();
+    let mut dinput = vec![0.0f32; n * c * h * w];
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane_off = (ni * c + ci) * h * w;
+            let out_off = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let y0 = oi * spec.stride;
+                    let x0 = oj * spec.stride;
+                    let hh = spec.kh.min(h - y0);
+                    let ww = spec.kw.min(w - x0);
+                    let share = g[out_off + oi * ow + oj] / (hh * ww) as f32;
+                    for ky in 0..hh {
+                        for kx in 0..ww {
+                            dinput[plane_off + (y0 + ky) * w + (x0 + kx)] += share;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dinput, [n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::rng_from_seed;
+
+    fn pool2() -> ConvSpec {
+        ConvSpec {
+            kh: 2,
+            kw: 2,
+            stride: 2,
+            pad: 0,
+        }
+    }
+
+    #[test]
+    fn maxpool_known_values() {
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+            9.0, 1.0, 2.0, 3.0,
+            1.0, 1.0, 4.0, 0.0,
+        ], [1, 1, 4, 4]);
+        let p = maxpool2d_forward(&x, pool2());
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.as_slice(), &[4.0, 8.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn maxpool_argmax_points_at_winner() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [1, 1, 2, 2]);
+        let p = maxpool2d_forward(&x, pool2());
+        assert_eq!(p.argmax, vec![3]);
+    }
+
+    #[test]
+    fn maxpool_truncates_odd_edges() {
+        // 5x5 with 2x2/2 pooling -> 2x2 (Keras truncation semantics).
+        let x = Tensor::ones([1, 1, 5, 5]);
+        let p = maxpool2d_forward(&x, pool2());
+        assert_eq!(p.output.dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 3.0], [1, 1, 2, 2]);
+        let p = maxpool2d_forward(&x, pool2());
+        let dout = Tensor::from_vec(vec![5.0], [1, 1, 1, 1]);
+        let dx = maxpool2d_backward(&dout, &p.argmax, 4);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_matches_finite_differences() {
+        let mut rng = rng_from_seed(23);
+        let x = Tensor::randn([2, 2, 4, 4], &mut rng);
+        let m = Tensor::randn([2, 2, 2, 2], &mut rng);
+        let p = maxpool2d_forward(&x, pool2());
+        let dx = maxpool2d_backward(&m, &p.argmax, x.len());
+        let loss = |x: &Tensor| -> f32 {
+            let o = maxpool2d_forward(x, pool2()).output;
+            o.as_slice()
+                .iter()
+                .zip(m.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-3;
+        for i in (0..x.len()).step_by(7) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            let ana = dx.as_slice()[i];
+            // Finite differences can disagree exactly at max ties; tolerance
+            // is loose but the structure (zero vs nonzero) must hold.
+            assert!(
+                (num - ana).abs() < 0.05 * (1.0 + ana.abs()),
+                "dx[{}]: {} vs {}",
+                i,
+                num,
+                ana
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_batch_channel_independence() {
+        let mut rng = rng_from_seed(31);
+        let a = Tensor::randn([1, 1, 4, 4], &mut rng);
+        let b = Tensor::randn([1, 1, 4, 4], &mut rng);
+        let joint = Tensor::concat0(&[a.clone(), b.clone()]);
+        let pj = maxpool2d_forward(&joint, pool2()).output;
+        let pa = maxpool2d_forward(&a, pool2()).output;
+        let pb = maxpool2d_forward(&b, pool2()).output;
+        assert_eq!(pj.index_axis0(0), pa.index_axis0(0));
+        assert_eq!(pj.index_axis0(1), pb.index_axis0(0));
+    }
+
+    #[test]
+    fn avgpool_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], [1, 1, 2, 2]);
+        let p = avgpool2d_forward(&x, pool2());
+        assert_eq!(p.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_gradient_uniformly() {
+        let dout = Tensor::from_vec(vec![4.0], [1, 1, 1, 1]);
+        let dx = avgpool2d_backward(&dout, (1, 1, 2, 2), pool2());
+        assert_eq!(dx.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_matches_finite_differences() {
+        let mut rng = rng_from_seed(41);
+        let x = Tensor::randn([2, 2, 4, 4], &mut rng);
+        let m = Tensor::randn([2, 2, 2, 2], &mut rng);
+        let dx = avgpool2d_backward(&m, (2, 2, 4, 4), pool2());
+        let loss = |x: &Tensor| -> f32 {
+            let o = avgpool2d_forward(x, pool2());
+            o.as_slice().iter().zip(m.as_slice()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in (0..x.len()).step_by(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 1e-3 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn avgpool_edge_windows_average_fewer_elements() {
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let p = avgpool2d_forward(&x, pool2());
+        // All ones stay ones regardless of window truncation.
+        assert_eq!(p.dims(), &[1, 1, 1, 1]);
+        assert_eq!(p.as_slice(), &[1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for tensor invariants.
+
+use proptest::prelude::*;
+use stsl_tensor::init::rng_from_seed;
+use stsl_tensor::ops::conv::{col2im, im2col, ConvSpec};
+use stsl_tensor::ops::pool::{maxpool2d_backward, maxpool2d_forward};
+use stsl_tensor::{Shape, Tensor};
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 0..4)
+}
+
+fn tensor_with_shape(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len = dims.iter().product::<usize>().max(1);
+    prop::collection::vec(-100.0f32..100.0, len..=len)
+        .prop_map(move |data| Tensor::from_vec(data, dims.clone()))
+}
+
+proptest! {
+    #[test]
+    fn offset_unravel_roundtrip(dims in small_dims()) {
+        let s = Shape::from(dims);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat);
+            prop_assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    fn broadcast_is_commutative(a in small_dims(), b in small_dims()) {
+        let sa = Shape::from(a);
+        let sb = Shape::from(b);
+        prop_assert_eq!(sa.broadcast(&sb), sb.broadcast(&sa));
+    }
+
+    #[test]
+    fn broadcast_with_self_is_identity(dims in small_dims()) {
+        let s = Shape::from(dims);
+        prop_assert_eq!(s.broadcast(&s), Some(s.clone()));
+    }
+
+    #[test]
+    fn add_commutes(
+        (a, b) in small_dims().prop_flat_map(|dims| (tensor_with_shape(dims.clone()), tensor_with_shape(dims)))
+    ) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(
+        d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5, seed in 0u64..1000
+    ) {
+        let t = Tensor::randn([d0, d1, d2], &mut rng_from_seed(seed));
+        for axis in 0..3 {
+            let reduced = t.sum_axis(axis);
+            prop_assert!((reduced.sum() - t.sum()).abs() < 1e-3 * (1.0 + t.sum().abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(n in 1usize..6, c in 1usize..8, seed in 0u64..1000) {
+        let t = Tensor::randn([n, c], &mut rng_from_seed(seed));
+        let s = t.softmax_rows();
+        for r in 0..n {
+            let row_sum: f32 = (0..c).map(|j| s.at(&[r, j])).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            for j in 0..c {
+                prop_assert!(s.at(&[r, j]) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        let c = Tensor::randn([k, n], &mut rng);
+        let lhs = a.matmul(&(&b + &c));
+        let rhs = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_associates_with_scalar(m in 1usize..5, k in 1usize..5, seed in 0u64..500, s in -3.0f32..3.0) {
+        let mut rng = rng_from_seed(seed);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, m], &mut rng);
+        let lhs = (&a * s).matmul(&b);
+        let rhs = &a.matmul(&b) * s;
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_is_involution(m in 1usize..8, n in 1usize..8, seed in 0u64..500) {
+        let t = Tensor::randn([m, n], &mut rng_from_seed(seed));
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        n in 1usize..3, c in 1usize..3, hw in 3usize..7, k in 1usize..4, seed in 0u64..300
+    ) {
+        let spec = ConvSpec::same(k);
+        let mut rng = rng_from_seed(seed);
+        let x = Tensor::randn([n, c, hw, hw], &mut rng);
+        let cx = im2col(&x, spec);
+        let y = Tensor::randn(cx.dims().to_vec(), &mut rng);
+        let lhs: f32 = cx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let folded = col2im(&y, n, c, hw, hw, spec);
+        let rhs: f32 = x.as_slice().iter().zip(folded.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn maxpool_output_bounded_by_input(n in 1usize..3, c in 1usize..3, hw in 2usize..8, seed in 0u64..300) {
+        let x = Tensor::randn([n, c, hw, hw], &mut rng_from_seed(seed));
+        let spec = ConvSpec { kh: 2, kw: 2, stride: 2, pad: 0 };
+        if spec.output_hw(hw, hw).is_none() { return Ok(()); }
+        let p = maxpool2d_forward(&x, spec);
+        prop_assert!(p.output.max() <= x.max() + 1e-6);
+        prop_assert!(p.output.min() >= x.min() - 1e-6);
+    }
+
+    #[test]
+    fn maxpool_gradient_is_sparse_and_conservative(hw in 2usize..8, seed in 0u64..300) {
+        let x = Tensor::randn([1, 1, hw, hw], &mut rng_from_seed(seed));
+        let spec = ConvSpec { kh: 2, kw: 2, stride: 2, pad: 0 };
+        let p = maxpool2d_forward(&x, spec);
+        let dout = Tensor::ones(p.output.dims().to_vec());
+        let dx = maxpool2d_backward(&dout, &p.argmax, x.len());
+        // Total gradient mass is conserved...
+        prop_assert!((dx.sum() - dout.sum()).abs() < 1e-4);
+        // ...and lands on at most one input per window.
+        let nonzero = dx.as_slice().iter().filter(|&&v| v != 0.0).count();
+        prop_assert!(nonzero <= dout.len());
+    }
+
+    #[test]
+    fn reshape_preserves_sum(dims in small_dims(), seed in 0u64..300) {
+        let len: usize = dims.iter().product::<usize>().max(1);
+        let t = Tensor::randn(dims.clone(), &mut rng_from_seed(seed));
+        let flat = t.reshape([len.max(1)]);
+        prop_assert!((flat.sum() - t.sum()).abs() < 1e-4 * (1.0 + t.sum().abs()));
+    }
+}

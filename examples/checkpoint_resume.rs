@@ -1,0 +1,64 @@
+//! Checkpointing a federated deployment and resuming it later.
+//!
+//! Hospitals train for a few epochs, the whole deployment (server upper
+//! model + every hospital's private lower model) is checkpointed to JSON,
+//! a fresh deployment restores it, and training continues seamlessly.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_resume
+//! ```
+
+use stsl_data::SyntheticCifar;
+use stsl_split::{Checkpoint, CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = SyntheticCifar::new(77)
+        .difficulty(0.1)
+        .generate_sized(400, 16);
+    let test = SyntheticCifar::new(78)
+        .difficulty(0.1)
+        .generate_sized(100, 16);
+    let config = SplitConfig::new(CutPoint(1), 2)
+        .arch(CnnArch::tiny())
+        .epochs(2)
+        .seed(5);
+
+    // Phase 1: train two epochs and checkpoint.
+    let mut phase1 = SpatioTemporalTrainer::new(config.clone(), &train)?;
+    let r1 = phase1.train(&test);
+    println!(
+        "phase 1: accuracy after {} epochs = {:.1}%",
+        r1.epochs.len(),
+        r1.final_accuracy * 100.0
+    );
+    let ckpt = phase1.checkpoint();
+    let path = std::env::temp_dir().join("stsl_demo_checkpoint.json");
+    ckpt.save(&path)?;
+    println!("checkpointed deployment to {}", path.display());
+
+    // Phase 2: a brand-new process would do exactly this.
+    let loaded = Checkpoint::load(&path)?;
+    let mut phase2 = SpatioTemporalTrainer::new(loaded.config.clone(), &train)?;
+    println!(
+        "fresh deployment before restore: {:.1}%",
+        phase2.evaluate(&test) * 100.0
+    );
+    phase2.restore(&loaded)?;
+    println!(
+        "after restore:                   {:.1}% (matches phase 1)",
+        phase2.evaluate(&test) * 100.0
+    );
+
+    // Continue training from the restored state.
+    for epoch in 2..4 {
+        let (loss, _) = phase2.run_epoch(epoch);
+        println!(
+            "resumed epoch {}: loss {:.3}, accuracy {:.1}%",
+            epoch,
+            loss,
+            phase2.evaluate(&test) * 100.0
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (DESIGN.md §4).
+# Results land in results/ as JSON + PPM; logs are teed alongside.
+#
+# Usage:
+#   scripts/reproduce_all.sh           # standard scale (~1 h on one core)
+#   scripts/reproduce_all.sh --quick   # smoke run (~1 min)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+MODE="${1:-}"
+
+cargo build --release -p stsl-bench --bins
+
+run() {
+  local bin="$1"
+  echo "=== $bin $MODE ==="
+  "./target/release/$bin" $MODE 2>&1 | tee "results/$bin.log"
+}
+
+mkdir -p results
+run table1          # Table I — accuracy vs cut depth
+run fig4            # Fig. 4 — activation capture triptychs
+run leakage_sweep   # E3 — inversion leakage vs cut depth
+run queue_sweep     # E4 — queueing & scheduling (§II)
+run scale_sweep     # E5 — N=1 (Fig. 1) … N=16 (Fig. 2)
+run comm_cost       # E6 — bytes vs FedAvg vs raw upload
+run noise_ablation  # E7 — Gaussian defense trade-off
+run ushaped_compare # E8 — label-private U-shaped protocol
+run pool_ablation   # E9 — max vs avg pooling privacy
+
+echo "all experiments done; see results/ and EXPERIMENTS.md"

@@ -1,0 +1,25 @@
+//! Umbrella crate for the *Spatio-Temporal Split Learning* (DSN 2021)
+//! reproduction: re-exports every subsystem under one roof so downstream
+//! users can depend on a single crate.
+//!
+//! * [`tensor`] — dense f32 tensors and numeric kernels
+//! * [`nn`] — layers, losses, optimizers, [`nn::Sequential`]
+//! * [`data`] — CIFAR-10 reader, synthetic generator, partitioning
+//! * [`simnet`] — deterministic discrete-event network simulator
+//! * [`split`] — the paper's contribution: multi-end-system split
+//!   learning with a centralized server, schedulers and baselines
+//! * [`privacy`] — Fig. 4 visualization, inversion attacks, leakage
+//!   metrics
+//!
+//! See `examples/quickstart.rs` for a complete training run and
+//! DESIGN.md for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stsl_data as data;
+pub use stsl_nn as nn;
+pub use stsl_privacy as privacy;
+pub use stsl_simnet as simnet;
+pub use stsl_split as split;
+pub use stsl_tensor as tensor;

@@ -1,0 +1,143 @@
+//! Integration tests for the extension features: U-shaped label-private
+//! protocol, noise defense, partial participation, checkpointing, and
+//! gradient clipping across the full stack.
+
+use spatio_temporal_split_learning::data::SyntheticCifar;
+use spatio_temporal_split_learning::nn::clip::clip_grad_norm;
+use spatio_temporal_split_learning::nn::loss::{Loss, SoftmaxCrossEntropy};
+use spatio_temporal_split_learning::nn::summary::{render, summarize};
+use spatio_temporal_split_learning::nn::Mode;
+use spatio_temporal_split_learning::privacy::measure_leakage;
+use spatio_temporal_split_learning::split::{
+    CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig, UShapedTrainer,
+};
+
+fn data(n: usize, seed: u64) -> spatio_temporal_split_learning::data::ImageDataset {
+    SyntheticCifar::new(seed).difficulty(0.08).generate_sized(n, 16)
+}
+
+#[test]
+fn ushaped_and_standard_protocols_reach_similar_accuracy() {
+    let train = data(160, 1);
+    let test = data(40, 2);
+    let cfg = || SplitConfig::tiny(CutPoint(1), 2).epochs(3).seed(3).learning_rate(0.01);
+    let std_acc = SpatioTemporalTrainer::new(cfg(), &train).unwrap().train(&test).final_accuracy;
+    let u_acc = UShapedTrainer::new(cfg(), &train).unwrap().train(&test).final_accuracy;
+    // Same architecture, same data: neither protocol should be wildly
+    // better. Allow generous slack — both are short runs.
+    assert!(
+        (std_acc - u_acc).abs() < 0.35,
+        "protocols diverged: standard {:.3} vs u-shaped {:.3}",
+        std_acc,
+        u_acc
+    );
+}
+
+#[test]
+fn ushaped_sends_no_labels_but_more_messages() {
+    let train = data(64, 4);
+    let test = data(16, 5);
+    let cfg = || SplitConfig::tiny(CutPoint(1), 1).epochs(1).batch_size(16).seed(6);
+    let mut std_t = SpatioTemporalTrainer::new(cfg(), &train).unwrap();
+    let rs = std_t.train(&test);
+    let mut u_t = UShapedTrainer::new(cfg(), &train).unwrap();
+    let ru = u_t.train(&test);
+    assert_eq!(
+        ru.comm.uplink_messages + ru.comm.downlink_messages,
+        2 * (rs.comm.uplink_messages + rs.comm.downlink_messages),
+        "u-shaped must double the round trips"
+    );
+}
+
+#[test]
+fn noise_defense_reduces_leakage_and_costs_accuracy() {
+    let train = data(160, 7);
+    let test = data(40, 8);
+    let aux = data(600, 9);
+    let victims = data(24, 10);
+    let run = |sigma: f32| {
+        let cfg = SplitConfig::tiny(CutPoint(1), 1).epochs(2).seed(11).smash_noise(sigma);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        let report = t.train(&test);
+        let client = t.clients_mut().first_mut().unwrap();
+        let leak = measure_leakage(|x| client.encode_protected(x), &aux, &victims, 8, 0);
+        (report.final_accuracy, leak)
+    };
+    let (_acc_clean, leak_clean) = run(0.0);
+    let (_acc_noisy, leak_noisy) = run(3.0);
+    assert!(
+        leak_noisy.dcor < leak_clean.dcor,
+        "noise must reduce input dependence: {:.3} vs {:.3}",
+        leak_noisy.dcor,
+        leak_clean.dcor
+    );
+    assert!(
+        leak_noisy.psnr_db < leak_clean.psnr_db,
+        "noise must reduce reconstruction fidelity: {:.2} vs {:.2}",
+        leak_noisy.psnr_db,
+        leak_clean.psnr_db
+    );
+}
+
+#[test]
+fn partial_participation_trains_fewer_batches_but_still_learns() {
+    let train = data(120, 12);
+    let test = data(30, 13);
+    let cfg = SplitConfig::tiny(CutPoint(1), 3)
+        .epochs(4)
+        .participation(0.6)
+        .seed(14)
+        .learning_rate(0.01);
+    let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+    let report = t.train(&test);
+    let served: u64 = t.server_mut().served_per_client().iter().sum();
+    // Full participation would serve 3 clients × ceil(40/16)=3 batches × 4
+    // epochs = 36 batches.
+    assert!(served < 36, "some epochs must be skipped, served {}", served);
+    assert!(report.final_accuracy > 0.05);
+}
+
+#[test]
+fn checkpoint_through_public_api_roundtrips_via_disk() {
+    let train = data(48, 15);
+    let test = data(16, 16);
+    let cfg = SplitConfig::tiny(CutPoint(2), 2).epochs(1).seed(17);
+    let mut t = SpatioTemporalTrainer::new(cfg.clone(), &train).unwrap();
+    t.train(&test);
+    let before = t.evaluate(&test);
+    let ckpt = t.checkpoint();
+    let path = std::env::temp_dir().join("stsl_ext_ckpt.json");
+    ckpt.save(&path).unwrap();
+    let loaded = spatio_temporal_split_learning::split::Checkpoint::load(&path).unwrap();
+    let mut fresh = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+    fresh.restore(&loaded).unwrap();
+    assert_eq!(fresh.evaluate(&test), before);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn gradient_clipping_integrates_with_cnn_training() {
+    let mut net = CnnArch::tiny().build(18);
+    let train = data(16, 19);
+    let (x, y) = train.batch(&(0..16).collect::<Vec<_>>());
+    net.zero_grads();
+    let logits = net.forward(&x, Mode::Train);
+    let out = SoftmaxCrossEntropy::new().forward(&logits, &y);
+    net.backward(&out.grad);
+    let pre = clip_grad_norm(&mut net, 0.1);
+    assert!(pre > 0.0);
+    assert!(net.grad_sq_norm().sqrt() <= 0.1 + 1e-4);
+}
+
+#[test]
+fn model_summary_covers_the_paper_cnn() {
+    let mut net = CnnArch::paper().build(0);
+    let rows = summarize(&mut net, &[1, 3, 32, 32]);
+    assert_eq!(rows.len(), 3 * 5 + 4);
+    // Last conv block outputs 256×1×1 before flatten.
+    let pool5 = &rows[14];
+    assert_eq!(pool5.output_dims, vec![1, 256, 1, 1]);
+    let text = render(&rows);
+    assert!(text.contains("conv2d"));
+    assert!(text.contains("total"));
+}

@@ -1,0 +1,163 @@
+//! Privacy stack integration: training → stage capture → triptych →
+//! inversion attack, on trained (not random) encoders.
+
+use spatio_temporal_split_learning::data::SyntheticCifar;
+use spatio_temporal_split_learning::privacy::{
+    measure_leakage, metrics::distance_correlation, visualize,
+};
+use spatio_temporal_split_learning::split::{CutPoint, SpatioTemporalTrainer, SplitConfig};
+use spatio_temporal_split_learning::tensor::Tensor;
+
+fn trained_client(
+    cut: usize,
+    train: &spatio_temporal_split_learning::data::ImageDataset,
+) -> SpatioTemporalTrainer {
+    let cfg = SplitConfig::tiny(CutPoint(cut), 1).epochs(1).seed(15);
+    let mut t = SpatioTemporalTrainer::new(cfg, train).expect("valid config");
+    let test = SyntheticCifar::new(16)
+        .difficulty(0.08)
+        .generate_sized(20, 16);
+    t.train(&test);
+    t
+}
+
+#[test]
+fn fig4_pipeline_on_trained_encoder() {
+    let train = SyntheticCifar::new(14)
+        .difficulty(0.08)
+        .generate_sized(80, 16);
+    let mut trainer = trained_client(1, &train);
+    let image = train.image(0);
+    let client = trainer.clients_mut().first_mut().expect("one client");
+    let stages = visualize::capture_stages(client.model_mut(), &image);
+    assert_eq!(stages.len(), 4, "original + conv + relu + pool");
+    // The conv stage keeps spatial resolution; pooling halves it.
+    assert_eq!(stages[1].activation.dim(1), 16);
+    assert_eq!(stages[3].activation.dim(1), 8);
+    let trip = visualize::fig4_triptych(client.model_mut(), &image, 2);
+    assert!(trip.width() > 3 * 16);
+}
+
+#[test]
+fn pooling_reduces_structural_similarity_on_trained_weights() {
+    let train = SyntheticCifar::new(30)
+        .difficulty(0.08)
+        .generate_sized(100, 16);
+    let mut trainer = trained_client(1, &train);
+    let client = trainer.clients_mut().first_mut().expect("one client");
+    let mut conv_total = 0.0;
+    let mut pool_total = 0.0;
+    for i in 0..10 {
+        let image = train.image(i);
+        let stages = visualize::capture_stages(client.model_mut(), &image);
+        conv_total += visualize::stage_similarity(&image, &stages[1].activation);
+        pool_total += visualize::stage_similarity(&image, &stages[3].activation);
+    }
+    assert!(
+        conv_total > pool_total,
+        "trained encoder: conv similarity {:.3} must exceed pooled {:.3} (the Fig. 4 claim)",
+        conv_total,
+        pool_total
+    );
+}
+
+#[test]
+fn inversion_attack_against_trained_encoders_weakens_with_depth() {
+    // The attack regression must be well-posed: use more auxiliary
+    // samples (800) than the widest code (512 floats at cut 1), otherwise
+    // the shallow cut's leakage is under-estimated for capacity reasons
+    // rather than privacy reasons.
+    let train = SyntheticCifar::new(30)
+        .difficulty(0.08)
+        .generate_sized(100, 16);
+    let aux = SyntheticCifar::new(31)
+        .difficulty(0.08)
+        .generate_sized(800, 16);
+    let victims = SyntheticCifar::new(32)
+        .difficulty(0.08)
+        .generate_sized(24, 16);
+    let mut shallow = trained_client(1, &train);
+    let mut deep = trained_client(3, &train);
+    let sc = shallow.clients_mut().first_mut().expect("client");
+    let r1 = measure_leakage(|x| sc.encode(x), &aux, &victims, 10, 0);
+    let dc = deep.clients_mut().first_mut().expect("client");
+    let r3 = measure_leakage(|x| dc.encode(x), &aux, &victims, 10, 0);
+    assert!(
+        r1.ssim > r3.ssim,
+        "shallow cut must reconstruct more faithfully: ssim {:.3} vs {:.3}",
+        r1.ssim,
+        r3.ssim
+    );
+    assert!(
+        r1.dcor > r3.dcor,
+        "shallow activations must be more input-dependent: dcor {:.3} vs {:.3}",
+        r1.dcor,
+        r3.dcor
+    );
+    assert!(
+        r1.psnr_db > r3.psnr_db - 0.5,
+        "psnr should not invert materially: {:.2} dB vs {:.2} dB",
+        r1.psnr_db,
+        r3.psnr_db
+    );
+}
+
+#[test]
+fn smashed_activations_remain_statistically_dependent_on_inputs() {
+    // Split learning hides pixels but the representation must stay
+    // informative (otherwise the server could not learn) — dCor between
+    // inputs and activations is well above zero even at the deepest cut.
+    let train = SyntheticCifar::new(40)
+        .difficulty(0.08)
+        .generate_sized(60, 16);
+    let mut trainer = trained_client(3, &train);
+    let client = trainer.clients_mut().first_mut().expect("client");
+    let idx: Vec<usize> = (0..40).collect();
+    let (images, _) = train.batch(&idx);
+    let codes = client.encode(&images);
+    let n = images.dim(0);
+    let d = distance_correlation(
+        &images.reshape([n, images.len() / n]),
+        &codes.reshape([n, codes.len() / n]),
+    );
+    assert!(d > 0.2, "dcor {} — activations lost all information", d);
+}
+
+#[test]
+fn triptych_ppm_roundtrip_to_disk() {
+    let train = SyntheticCifar::new(50)
+        .difficulty(0.05)
+        .generate_sized(40, 16);
+    let mut trainer = trained_client(1, &train);
+    let client = trainer.clients_mut().first_mut().expect("client");
+    let trip = visualize::fig4_triptych(client.model_mut(), &train.image(3), 2);
+    let dir = std::env::temp_dir().join("stsl_privacy_test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("triptych.ppm");
+    trip.save_ppm(&path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    assert!(bytes.starts_with(b"P6\n"));
+    assert_eq!(
+        bytes.len(),
+        format!("P6\n{} {}\n255\n", trip.width(), trip.height()).len()
+            + 3 * trip.width() * trip.height()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn random_vs_trained_encoder_both_support_attack_api() {
+    // The attack API takes any encode closure — identity, random net,
+    // trained net. Exercise the identity edge (maximum leakage).
+    let aux = SyntheticCifar::new(60)
+        .difficulty(0.05)
+        .generate_sized(300, 8);
+    let victims = SyntheticCifar::new(61)
+        .difficulty(0.05)
+        .generate_sized(16, 8);
+    let id_report = measure_leakage(|x: &Tensor| x.clone(), &aux, &victims, 10, 1);
+    assert!(
+        id_report.dcor > 0.9,
+        "identity encoder must be maximally dependent"
+    );
+}

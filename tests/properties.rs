@@ -1,0 +1,83 @@
+//! Cross-crate property-based tests: protocol round-trips, partition
+//! invariants and model-splitting laws under randomized inputs.
+
+use proptest::prelude::*;
+use spatio_temporal_split_learning::data::{Partition, SyntheticCifar};
+use spatio_temporal_split_learning::nn::Mode;
+use spatio_temporal_split_learning::simnet::EndSystemId;
+use spatio_temporal_split_learning::split::protocol::{ActivationMsg, BatchId, GradientMsg};
+use spatio_temporal_split_learning::split::{CnnArch, CutPoint};
+use spatio_temporal_split_learning::tensor::init::rng_from_seed;
+use spatio_temporal_split_learning::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn activation_messages_roundtrip(
+        n in 1usize..5, c in 1usize..9, hw in 1usize..9,
+        from in 0usize..16, epoch in 0u32..100, batch in 0u32..1000,
+        seed in 0u64..1000
+    ) {
+        let msg = ActivationMsg {
+            from: EndSystemId(from),
+            batch_id: BatchId { epoch, batch },
+            activations: Tensor::randn([n, c, hw, hw], &mut rng_from_seed(seed)),
+            targets: (0..n).map(|i| i % 10).collect(),
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.encoded_len());
+        prop_assert_eq!(ActivationMsg::decode(encoded), msg);
+    }
+
+    #[test]
+    fn gradient_messages_roundtrip(
+        dims in prop::collection::vec(1usize..6, 1..4),
+        to in 0usize..16, seed in 0u64..1000
+    ) {
+        let msg = GradientMsg {
+            to: EndSystemId(to),
+            batch_id: BatchId { epoch: 0, batch: 0 },
+            grad: Tensor::randn(dims, &mut rng_from_seed(seed)),
+        };
+        let encoded = msg.encode();
+        prop_assert_eq!(encoded.len(), msg.encoded_len());
+        prop_assert_eq!(GradientMsg::decode(encoded), msg);
+    }
+
+    #[test]
+    fn partitions_are_exact_covers(
+        clients in 1usize..7, seed in 0u64..100, alpha in 0.05f32..2.0
+    ) {
+        let data = SyntheticCifar::new(1).difficulty(0.0).generate_sized(60, 8);
+        for partition in [Partition::Iid, Partition::Dirichlet { alpha }] {
+            let sets = partition.split_indices(&data, clients, seed);
+            prop_assert_eq!(sets.len(), clients);
+            let mut all: Vec<usize> = sets.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..60).collect::<Vec<_>>());
+            prop_assert!(sets.iter().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn model_split_composes_at_every_cut(cut in 0usize..4, seed in 0u64..50) {
+        let arch = CnnArch::tiny();
+        let mut full = arch.build(seed);
+        let (mut lower, mut upper) = arch.build(seed).split_at(CutPoint(cut).layer_index());
+        let x = Tensor::randn([2, 3, 16, 16], &mut rng_from_seed(seed + 1));
+        let direct = full.forward(&x, Mode::Eval);
+        let composed = upper.forward(&lower.forward(&x, Mode::Eval), Mode::Eval);
+        prop_assert_eq!(direct, composed);
+    }
+
+    #[test]
+    fn cut_dims_predict_encoder_output(cut in 0usize..4, n in 1usize..4, seed in 0u64..50) {
+        let arch = CnnArch::tiny();
+        let (mut lower, _) = arch.build_split(CutPoint(cut), seed);
+        let x = Tensor::randn([n, 3, 16, 16], &mut rng_from_seed(seed));
+        let smashed = lower.forward(&x, Mode::Eval);
+        let expected = arch.cut_dims(CutPoint(cut), n);
+        prop_assert_eq!(smashed.dims(), expected.as_slice());
+    }
+}

@@ -1,0 +1,131 @@
+//! The central correctness property of split learning: cutting a network
+//! into a client half and a server half and training across the cut is
+//! **mathematically identical** to training the unsplit network on the
+//! same batch sequence.
+
+use spatio_temporal_split_learning::data::SyntheticCifar;
+use spatio_temporal_split_learning::nn::loss::{Loss, SoftmaxCrossEntropy};
+use spatio_temporal_split_learning::nn::optim::Sgd;
+use spatio_temporal_split_learning::nn::{Mode, Sequential};
+use spatio_temporal_split_learning::split::{CnnArch, CutPoint};
+use spatio_temporal_split_learning::tensor::Tensor;
+
+fn batches() -> Vec<(Tensor, Vec<usize>)> {
+    let data = SyntheticCifar::new(4)
+        .difficulty(0.1)
+        .generate_sized(48, 16);
+    (0..3)
+        .map(|b| {
+            let idx: Vec<usize> = (b * 16..(b + 1) * 16).collect();
+            data.batch(&idx)
+        })
+        .collect()
+}
+
+fn train_full(seed: u64, lr: f32) -> Sequential {
+    let mut net = CnnArch::tiny().build(seed);
+    let loss = SoftmaxCrossEntropy::new();
+    let mut opt = Sgd::new(lr);
+    for (x, y) in batches() {
+        net.train_batch(&x, &y, &loss, &mut opt);
+    }
+    net
+}
+
+fn train_split(seed: u64, lr: f32, cut: usize) -> (Sequential, Sequential) {
+    let (mut lower, mut upper) = CnnArch::tiny()
+        .build(seed)
+        .split_at(CutPoint(cut).layer_index());
+    let loss = SoftmaxCrossEntropy::new();
+    // Separate optimizers per half, exactly like the deployed protocol.
+    let mut client_opt = Sgd::new(lr);
+    let mut server_opt = Sgd::new(lr);
+    for (x, y) in batches() {
+        lower.zero_grads();
+        upper.zero_grads();
+        let smashed = lower.forward(&x, Mode::Train);
+        let logits = upper.forward(&smashed, Mode::Train);
+        let out = loss.forward(&logits, &y);
+        let cut_grad = upper.backward(&out.grad);
+        lower.backward(&cut_grad);
+        upper.step(&mut server_opt);
+        lower.step(&mut client_opt);
+    }
+    (lower, upper)
+}
+
+#[test]
+fn split_training_equals_full_training() {
+    for cut in [1usize, 2] {
+        let mut full = train_full(33, 0.01);
+        let (mut lower, mut upper) = train_split(33, 0.01, cut);
+        let probe = SyntheticCifar::new(5).difficulty(0.1).generate_sized(8, 16);
+        let (x, _) = probe.batch(&(0..8).collect::<Vec<_>>());
+        let expected = full.forward(&x, Mode::Eval);
+        let smashed = lower.forward(&x, Mode::Eval);
+        let got = upper.forward(&smashed, Mode::Eval);
+        assert!(
+            got.allclose(&expected, 1e-4),
+            "cut {}: split-trained and full-trained networks diverged",
+            cut
+        );
+    }
+}
+
+#[test]
+fn split_training_weights_match_full_training() {
+    let mut full = train_full(7, 0.02);
+    let (mut lower, mut upper) = train_split(7, 0.02, 2);
+    let mut split_state = lower.state_dict();
+    split_state.extend(upper.state_dict());
+    let full_state = full.state_dict();
+    assert_eq!(split_state.len(), full_state.len());
+    for (i, (a, b)) in split_state.iter().zip(&full_state).enumerate() {
+        assert!(a.allclose(b, 1e-4), "parameter tensor {} diverged", i);
+    }
+}
+
+#[test]
+fn momentum_optimizers_also_match() {
+    // Momentum state lives per-half in split training; the equivalence
+    // must hold regardless because the parameter sets are disjoint.
+    let lr = 0.01;
+    let mut full = {
+        let mut net = CnnArch::tiny().build(99);
+        let loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(lr).momentum(0.9);
+        for (x, y) in batches() {
+            net.train_batch(&x, &y, &loss, &mut opt);
+        }
+        net
+    };
+    let (mut lower, mut upper) = {
+        let (mut lower, mut upper) = CnnArch::tiny()
+            .build(99)
+            .split_at(CutPoint(1).layer_index());
+        let loss = SoftmaxCrossEntropy::new();
+        let mut client_opt = Sgd::new(lr).momentum(0.9);
+        let mut server_opt = Sgd::new(lr).momentum(0.9);
+        for (x, y) in batches() {
+            lower.zero_grads();
+            upper.zero_grads();
+            let smashed = lower.forward(&x, Mode::Train);
+            let logits = upper.forward(&smashed, Mode::Train);
+            let out = loss.forward(&logits, &y);
+            let cut_grad = upper.backward(&out.grad);
+            lower.backward(&cut_grad);
+            upper.step(&mut server_opt);
+            lower.step(&mut client_opt);
+        }
+        (lower, upper)
+    };
+    let probe = SyntheticCifar::new(6).generate_sized(4, 16);
+    let (x, _) = probe.batch(&[0, 1, 2, 3]);
+    let expected = full.forward(&x, Mode::Eval);
+    let smashed = lower.forward(&x, Mode::Eval);
+    let got = upper.forward(&smashed, Mode::Eval);
+    assert!(
+        got.allclose(&expected, 1e-4),
+        "momentum split training diverged from full"
+    );
+}
