@@ -1,0 +1,181 @@
+//! **E10** — fault tolerance under injected failures.
+//!
+//! Sweeps the intensity of a seeded random [`stsl_simnet::FaultPlan`]
+//! (link outages, loss surges, latency spikes, client crash→recover
+//! windows, server stalls) over the asynchronous trainer with
+//! retransmission, liveness tracking and auto-checkpointing enabled, and
+//! reports the robustness counters: retransmits, batches lost, downtime,
+//! crash/recovery/checkpoint events and final accuracy.
+//!
+//! ```text
+//! cargo run -p stsl-bench --release --bin fault_sweep
+//! cargo run -p stsl-bench --release --bin fault_sweep -- --quick
+//! ```
+
+use serde::Serialize;
+use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_simnet::{FaultPlan, Link, SimDuration, StarTopology};
+use stsl_split::{
+    AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, RetryPolicy, SchedulingPolicy, SplitConfig,
+};
+
+#[derive(Serialize)]
+struct Row {
+    intensity: f64,
+    fault_episodes: usize,
+    sim_seconds: f64,
+    network_drops: u64,
+    retransmits: u64,
+    retry_exhausted: u64,
+    batches_lost: u64,
+    crash_events: u64,
+    recovery_events: u64,
+    checkpoint_saves: u64,
+    checkpoint_restores: u64,
+    dead_clients_detected: u64,
+    total_downtime_ms: f64,
+    served_per_client: Vec<u64>,
+    accuracy: f32,
+}
+
+#[derive(Serialize)]
+struct FaultSweep {
+    data_source: String,
+    end_systems: usize,
+    base_loss: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let clients = args.get_usize("clients", 4);
+    let seed = args.get_u64("seed", 33);
+    let epochs = args.get_usize("epochs", if quick { 1 } else { 3 });
+    let train_n = args.get_usize("samples", if quick { 160 } else { 640 });
+    let base_loss = args.get_f32("loss", 0.05) as f64;
+    let intensities: Vec<f64> = if quick {
+        vec![0.0, 0.5, 1.0]
+    } else {
+        vec![0.0, 0.25, 0.5, 0.75, 1.0]
+    };
+
+    let difficulty = args.get_f32("difficulty", 0.12);
+    let (train, test, source) = load_data(train_n, 160, 16, seed, difficulty);
+    println!(
+        "E10 fault-tolerance sweep — {} data, {} end-systems, {:.0}% base loss, epochs {}",
+        source,
+        clients,
+        base_loss * 100.0,
+        epochs
+    );
+
+    // Heterogeneous links with a lossy baseline, so retransmission is
+    // exercised even at intensity 0.
+    let topology = StarTopology::new(
+        (0..clients)
+            .map(|i| Link::wan(5.0 + 20.0 * i as f64, 100.0).loss(base_loss))
+            .collect(),
+    );
+    let compute = ComputeModel::default();
+    // Faults are scheduled over roughly the horizon a clean run needs;
+    // crashes outlasting the survivors' work still recover (the run only
+    // ends once every scheduled recovery has fired).
+    let horizon = SimDuration::from_millis(if quick { 2_000 } else { 6_000 });
+
+    let mut rows = Vec::new();
+    for &intensity in &intensities {
+        let plan = FaultPlan::random(clients, horizon, seed ^ 0xFA17, intensity);
+        let cfg = SplitConfig::new(CutPoint(1), clients)
+            .arch(CnnArch::tiny())
+            .epochs(epochs)
+            .batch_size(16)
+            .seed(seed);
+        let mut trainer = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            topology.clone(),
+            SchedulingPolicy::RoundRobin,
+            compute,
+        )
+        .expect("valid config")
+        .with_fault_plan(plan.clone())
+        .with_retry_policy(RetryPolicy::default())
+        .with_auto_checkpoint(SimDuration::from_millis(200))
+        .with_liveness_timeout(SimDuration::from_millis(1_000));
+        let r = trainer.run(&test);
+        println!(
+            "  intensity {:.2}  episodes {:>2}  drops {:>4}  retransmits {:>4}  lost {:>3}  crashes {}/{}  ckpt {}/{}  downtime {:>7.0} ms  acc {:.1}%",
+            intensity,
+            plan.len(),
+            r.network_drops,
+            r.retransmits,
+            r.batches_lost,
+            r.crash_events,
+            r.recovery_events,
+            r.checkpoint_saves,
+            r.checkpoint_restores,
+            r.downtime_ms_per_client.iter().sum::<f64>(),
+            r.final_accuracy * 100.0
+        );
+        rows.push(Row {
+            intensity,
+            fault_episodes: plan.len(),
+            sim_seconds: r.sim_seconds,
+            network_drops: r.network_drops,
+            retransmits: r.retransmits,
+            retry_exhausted: r.retry_exhausted,
+            batches_lost: r.batches_lost,
+            crash_events: r.crash_events,
+            recovery_events: r.recovery_events,
+            checkpoint_saves: r.checkpoint_saves,
+            checkpoint_restores: r.checkpoint_restores,
+            dead_clients_detected: r.dead_clients_detected,
+            total_downtime_ms: r.downtime_ms_per_client.iter().sum(),
+            served_per_client: r.served_per_client.clone(),
+            accuracy: r.final_accuracy,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.intensity),
+                format!("{}", r.fault_episodes),
+                format!("{}", r.network_drops),
+                format!("{}", r.retransmits),
+                format!("{}", r.batches_lost),
+                format!("{}/{}", r.crash_events, r.recovery_events),
+                format!("{:.0}", r.total_downtime_ms),
+                format!("{:.1}%", r.accuracy * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "intensity",
+                "episodes",
+                "drops",
+                "retransmits",
+                "lost",
+                "crash/recover",
+                "downtime (ms)",
+                "accuracy"
+            ],
+            &table
+        )
+    );
+
+    write_json(
+        "fault",
+        &FaultSweep {
+            data_source: source.to_string(),
+            end_systems: clients,
+            base_loss,
+            rows,
+        },
+    );
+}

@@ -15,8 +15,8 @@
 
 use serde::Serialize;
 use stsl_bench::{load_data, render_table, write_json, Args};
-use stsl_privacy::visualize::{capture_stages, stage_similarity};
 use stsl_privacy::measure_leakage;
+use stsl_privacy::visualize::{capture_stages, stage_similarity};
 use stsl_split::{CnnArch, CutPoint, PoolKind, SpatioTemporalTrainer, SplitConfig};
 
 #[derive(Serialize)]
@@ -41,19 +41,30 @@ fn main() {
     let (train_n, epochs, aux_n, attack_epochs) = if quick {
         (200usize, 1usize, 300usize, 6usize)
     } else {
-        (args.get_usize("samples", 800), args.get_usize("epochs", 3), 800, 15)
+        (
+            args.get_usize("samples", 800),
+            args.get_usize("epochs", 3),
+            800,
+            15,
+        )
     };
     let seed = args.get_u64("seed", 37);
     let difficulty = args.get_f32("difficulty", 0.1);
     let (train, test, source) = load_data(train_n, 150, 16, seed, difficulty);
     let (aux, victims, _) = load_data(aux_n, 32, 16, seed ^ 0x77, difficulty);
-    println!("E9 pooling ablation — {} data, cut 1, max vs avg pooling", source);
+    println!(
+        "E9 pooling ablation — {} data, cut 1, max vs avg pooling",
+        source
+    );
 
     let mut rows = Vec::new();
     for pool in [PoolKind::Max, PoolKind::Avg] {
         let mut arch = CnnArch::tiny();
         arch.pool = pool;
-        let cfg = SplitConfig::new(CutPoint(1), 1).arch(arch).epochs(epochs).seed(seed);
+        let cfg = SplitConfig::new(CutPoint(1), 1)
+            .arch(arch)
+            .epochs(epochs)
+            .seed(seed);
         let mut trainer = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
         let report = trainer.train(&test);
         let client = trainer.clients_mut().first_mut().expect("client");
@@ -104,7 +115,13 @@ fn main() {
     println!(
         "\n{}",
         render_table(
-            &["pooling", "accuracy", "post-pool similarity", "attack PSNR (dB)", "SSIM"],
+            &[
+                "pooling",
+                "accuracy",
+                "post-pool similarity",
+                "attack PSNR (dB)",
+                "SSIM"
+            ],
             &table
         )
     );
@@ -112,5 +129,11 @@ fn main() {
         println!("=> average pooling leaks more: max-pooling's nonlinearity is doing privacy work, as the paper claims");
     }
 
-    write_json("pool", &PoolAblation { data_source: source.to_string(), rows });
+    write_json(
+        "pool",
+        &PoolAblation {
+            data_source: source.to_string(),
+            rows,
+        },
+    );
 }

@@ -31,6 +31,32 @@ pub struct Args {
     flags: Vec<String>,
 }
 
+/// A malformed command-line value: which flag, and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag (without the leading `--`) whose value failed to parse.
+    pub flag: String,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "usage error: {}", self.message)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl UsageError {
+    /// Prints the error to stderr and exits with the conventional usage
+    /// status code 2 (never returns).
+    pub fn exit(&self) -> ! {
+        eprintln!("{}", self);
+        std::process::exit(2);
+    }
+}
+
 impl Args {
     /// Parses the process arguments (skipping `argv[0]`).
     pub fn parse() -> Self {
@@ -59,37 +85,65 @@ impl Args {
         args
     }
 
-    /// Integer option with default.
-    pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.values
-            .get(name)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{} expects an integer", name))
-            })
-            .unwrap_or(default)
+    /// Integer option with default, reporting an unparsable value as a
+    /// [`UsageError`] naming the offending flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] when the value is present but not an integer.
+    pub fn try_usize(&self, name: &str, default: usize) -> Result<usize, UsageError> {
+        self.try_parse(name, default, "an integer")
     }
 
     /// Float option with default.
-    pub fn get_f32(&self, name: &str, default: f32) -> f32 {
-        self.values
-            .get(name)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{} expects a number", name))
-            })
-            .unwrap_or(default)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] when the value is present but not a number.
+    pub fn try_f32(&self, name: &str, default: f32) -> Result<f32, UsageError> {
+        self.try_parse(name, default, "a number")
     }
 
     /// u64 option with default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] when the value is present but not an integer.
+    pub fn try_u64(&self, name: &str, default: u64) -> Result<u64, UsageError> {
+        self.try_parse(name, default, "an integer")
+    }
+
+    fn try_parse<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &str,
+    ) -> Result<T, UsageError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| UsageError {
+                flag: name.to_string(),
+                message: format!("--{} expects {}, got {:?}", name, expected, v),
+            }),
+        }
+    }
+
+    /// Integer option with default; exits with a usage error (code 2) on
+    /// an unparsable value.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.try_usize(name, default).unwrap_or_else(|e| e.exit())
+    }
+
+    /// Float option with default; exits with a usage error (code 2) on an
+    /// unparsable value.
+    pub fn get_f32(&self, name: &str, default: f32) -> f32 {
+        self.try_f32(name, default).unwrap_or_else(|e| e.exit())
+    }
+
+    /// u64 option with default; exits with a usage error (code 2) on an
+    /// unparsable value.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.values
-            .get(name)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{} expects an integer", name))
-            })
-            .unwrap_or(default)
+        self.try_u64(name, default).unwrap_or_else(|e| e.exit())
     }
 
     /// String option with default.
@@ -214,6 +268,29 @@ mod tests {
         let a = Args::parse_from(vec!["--seed".into(), "42".into(), "--verbose".into()]);
         assert_eq!(a.get_u64("seed", 0), 42);
         assert!(a.get_flag("verbose"));
+    }
+
+    #[test]
+    fn malformed_values_are_usage_errors_naming_the_flag() {
+        let a = Args::parse_from(vec![
+            "--epochs".into(),
+            "three".into(),
+            "--lr".into(),
+            "fast".into(),
+        ]);
+        let err = a.try_usize("epochs", 1).unwrap_err();
+        assert_eq!(err.flag, "epochs");
+        assert!(err.to_string().contains("--epochs"));
+        assert!(err.to_string().contains("integer"));
+        let err = a.try_f32("lr", 0.1).unwrap_err();
+        assert_eq!(err.flag, "lr");
+        assert!(err.to_string().contains("--lr"));
+        let err = a.try_u64("epochs", 0).unwrap_err();
+        assert_eq!(err.flag, "epochs");
+        // Absent or well-formed values never error.
+        assert_eq!(a.try_usize("batch", 16).unwrap(), 16);
+        let ok = Args::parse_from(vec!["--epochs".into(), "7".into()]);
+        assert_eq!(ok.try_usize("epochs", 1).unwrap(), 7);
     }
 
     #[test]

@@ -145,9 +145,9 @@ impl SyntheticCifar {
         let blobs: Vec<(f32, f32, f32)> = (0..4)
             .map(|_| {
                 (
-                    rng.gen_range(4.0..28.0) * scale,
-                    rng.gen_range(4.0..28.0) * scale,
-                    (rng.gen_range(2.5..5.0) * scale).max(1.2),
+                    rng.gen_range(4.0..28.0_f32) * scale,
+                    rng.gen_range(4.0..28.0_f32) * scale,
+                    (rng.gen_range(2.5..5.0_f32) * scale).max(1.2),
                 )
             })
             .collect();

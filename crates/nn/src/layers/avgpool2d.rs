@@ -20,12 +20,28 @@ pub struct AvgPool2d {
 impl AvgPool2d {
     /// Creates a `k×k` pool with stride `k` (non-overlapping windows).
     pub fn new(k: usize) -> Self {
-        AvgPool2d { spec: ConvSpec { kh: k, kw: k, stride: k, pad: 0 }, input_dims: None }
+        AvgPool2d {
+            spec: ConvSpec {
+                kh: k,
+                kw: k,
+                stride: k,
+                pad: 0,
+            },
+            input_dims: None,
+        }
     }
 
     /// Creates a pool with explicit window and stride.
     pub fn with_stride(k: usize, stride: usize) -> Self {
-        AvgPool2d { spec: ConvSpec { kh: k, kw: k, stride, pad: 0 }, input_dims: None }
+        AvgPool2d {
+            spec: ConvSpec {
+                kh: k,
+                kw: k,
+                stride,
+                pad: 0,
+            },
+            input_dims: None,
+        }
     }
 
     /// The pooling geometry.
@@ -41,14 +57,16 @@ impl Layer for AvgPool2d {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Train {
-            self.input_dims =
-                Some((input.dim(0), input.dim(1), input.dim(2), input.dim(3)));
+            self.input_dims = Some((input.dim(0), input.dim(1), input.dim(2), input.dim(3)));
         }
         avgpool2d_forward(input, self.spec)
     }
 
     fn backward(&mut self, dout: &Tensor) -> Tensor {
-        let dims = self.input_dims.take().expect("avgpool2d backward without cached forward");
+        let dims = self
+            .input_dims
+            .take()
+            .expect("avgpool2d backward without cached forward");
         avgpool2d_backward(dout, dims, self.spec)
     }
 

@@ -1,0 +1,462 @@
+//! Deterministic fault injection: scheduled fault episodes layered on top
+//! of the link models.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEpisode`]s, each active over a
+//! half-open simulated-time window `[from, until)`. Trainers consult the
+//! plan at event time — the plan itself holds no mutable state, so the
+//! same plan plus the same seed reproduces the same run bit-for-bit.
+//!
+//! Five fault kinds cover the failure modes a geo-distributed split
+//! deployment sees in practice: total link outages, loss-rate surges,
+//! latency spikes with jitter, end-system crash→recover windows, and
+//! server stalls.
+
+use crate::{EndSystemId, Link, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What goes wrong during an episode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Every transfer on the client's link fails.
+    LinkOutage {
+        /// Affected end-system.
+        client: EndSystemId,
+    },
+    /// The client's link loses packets at (at least) the given rate,
+    /// compounded with the link's base loss.
+    LossSurge {
+        /// Affected end-system.
+        client: EndSystemId,
+        /// Additional loss probability in `[0, 1)`.
+        loss: f64,
+    },
+    /// Transfers on the client's link take extra time.
+    LatencySpike {
+        /// Affected end-system.
+        client: EndSystemId,
+        /// Added latency in milliseconds.
+        extra_ms: f64,
+        /// Uniform jitter amplitude in milliseconds (each transfer adds
+        /// `U[0, jitter_ms)` on top of `extra_ms`).
+        jitter_ms: f64,
+    },
+    /// The end-system crashes at `from` and recovers at `until`.
+    ClientCrash {
+        /// Affected end-system.
+        client: EndSystemId,
+    },
+    /// The server processes nothing during the window.
+    ServerStall,
+}
+
+impl FaultKind {
+    /// The end-system this fault targets, if it is client-scoped.
+    pub fn client(&self) -> Option<EndSystemId> {
+        match *self {
+            FaultKind::LinkOutage { client }
+            | FaultKind::LossSurge { client, .. }
+            | FaultKind::LatencySpike { client, .. }
+            | FaultKind::ClientCrash { client } => Some(client),
+            FaultKind::ServerStall => None,
+        }
+    }
+}
+
+/// One scheduled fault, active over `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEpisode {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// When it starts (inclusive).
+    pub from: SimTime,
+    /// When it ends (exclusive).
+    pub until: SimTime,
+}
+
+impl FaultEpisode {
+    /// Creates an episode, validating the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until <= from`, or on out-of-range fault parameters.
+    pub fn new(kind: FaultKind, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "fault episode window must be non-empty");
+        if let FaultKind::LossSurge { loss, .. } = kind {
+            assert!((0.0..1.0).contains(&loss), "surge loss must be in [0, 1)");
+        }
+        if let FaultKind::LatencySpike {
+            extra_ms,
+            jitter_ms,
+            ..
+        } = kind
+        {
+            assert!(
+                extra_ms >= 0.0 && jitter_ms >= 0.0,
+                "latency spike must be non-negative"
+            );
+        }
+        FaultEpisode { kind, from, until }
+    }
+
+    /// Whether the episode is active at `at`.
+    pub fn active_at(&self, at: SimTime) -> bool {
+        self.from <= at && at < self.until
+    }
+}
+
+/// A deterministic schedule of fault episodes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    episodes: Vec<FaultEpisode>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds an episode (builder style).
+    pub fn with(mut self, episode: FaultEpisode) -> Self {
+        self.episodes.push(episode);
+        self
+    }
+
+    /// Adds a link outage on `client` over `[from, until)`.
+    pub fn link_outage(self, client: EndSystemId, from: SimTime, until: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::LinkOutage { client },
+            from,
+            until,
+        ))
+    }
+
+    /// Adds a loss surge on `client` over `[from, until)`.
+    pub fn loss_surge(self, client: EndSystemId, loss: f64, from: SimTime, until: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::LossSurge { client, loss },
+            from,
+            until,
+        ))
+    }
+
+    /// Adds a latency spike on `client` over `[from, until)`.
+    pub fn latency_spike(
+        self,
+        client: EndSystemId,
+        extra_ms: f64,
+        jitter_ms: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::LatencySpike {
+                client,
+                extra_ms,
+                jitter_ms,
+            },
+            from,
+            until,
+        ))
+    }
+
+    /// Adds a crash→recover window for `client`.
+    pub fn client_crash(self, client: EndSystemId, from: SimTime, until: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::ClientCrash { client },
+            from,
+            until,
+        ))
+    }
+
+    /// Adds a server stall over `[from, until)`.
+    pub fn server_stall(self, from: SimTime, until: SimTime) -> Self {
+        self.with(FaultEpisode::new(FaultKind::ServerStall, from, until))
+    }
+
+    /// Generates a random but fully seed-determined plan over `[0,
+    /// horizon)` for `clients` end-systems. `intensity` in `[0, 1]` scales
+    /// how many episodes each client receives: at `0.0` the plan is empty,
+    /// at `1.0` every client gets roughly one episode of every kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intensity` is outside `[0, 1]` or `horizon` is zero.
+    pub fn random(clients: usize, horizon: SimDuration, seed: u64, intensity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intensity),
+            "intensity must be in [0, 1]"
+        );
+        assert!(horizon > SimDuration::ZERO, "horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let h = horizon.as_micros();
+        // Episodes last 5–20 % of the horizon.
+        let window = |rng: &mut StdRng| {
+            let len = rng.gen_range(h / 20..=h / 5).max(1);
+            let start = rng.gen_range(0..h.saturating_sub(len).max(1));
+            (
+                SimTime::from_micros(start),
+                SimTime::from_micros(start + len),
+            )
+        };
+        for i in 0..clients {
+            let client = EndSystemId(i);
+            if rng.gen_bool(intensity) {
+                let (from, until) = window(&mut rng);
+                let loss = rng.gen_range(0.05..0.5);
+                plan = plan.loss_surge(client, loss, from, until);
+            }
+            if rng.gen_bool(intensity * 0.8) {
+                let (from, until) = window(&mut rng);
+                let extra = rng.gen_range(20.0..200.0);
+                let jitter = rng.gen_range(0.0..extra);
+                plan = plan.latency_spike(client, extra, jitter, from, until);
+            }
+            if rng.gen_bool(intensity * 0.5) {
+                let (from, until) = window(&mut rng);
+                plan = plan.link_outage(client, from, until);
+            }
+            if rng.gen_bool(intensity * 0.5) {
+                let (from, until) = window(&mut rng);
+                plan = plan.client_crash(client, from, until);
+            }
+        }
+        if rng.gen_bool(intensity * 0.5) {
+            let (from, until) = window(&mut rng);
+            plan = plan.server_stall(from, until);
+        }
+        plan
+    }
+
+    /// All episodes, in insertion order.
+    pub fn episodes(&self) -> &[FaultEpisode] {
+        &self.episodes
+    }
+
+    /// Number of episodes.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// Whether the plan has no episodes.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// The end of the last episode (time after which no fault is active).
+    pub fn horizon(&self) -> SimTime {
+        self.episodes
+            .iter()
+            .map(|e| e.until)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Whether `client`'s link is fully down at `at`.
+    pub fn link_down(&self, client: EndSystemId, at: SimTime) -> bool {
+        self.episodes.iter().any(|e| {
+            e.active_at(at) && matches!(e.kind, FaultKind::LinkOutage { client: c } if c == client)
+        })
+    }
+
+    /// Additional loss probability on `client`'s link at `at` (compounded
+    /// over concurrent surges).
+    pub fn surge_loss(&self, client: EndSystemId, at: SimTime) -> f64 {
+        let mut pass = 1.0;
+        for e in &self.episodes {
+            if let FaultKind::LossSurge { client: c, loss } = e.kind {
+                if c == client && e.active_at(at) {
+                    pass *= 1.0 - loss;
+                }
+            }
+        }
+        1.0 - pass
+    }
+
+    /// Whether `client` is crashed at `at`.
+    pub fn client_crashed(&self, client: EndSystemId, at: SimTime) -> bool {
+        self.episodes.iter().any(|e| {
+            e.active_at(at) && matches!(e.kind, FaultKind::ClientCrash { client: c } if c == client)
+        })
+    }
+
+    /// All crash windows, as `(client, from, until)` triples.
+    pub fn crash_windows(&self) -> Vec<(EndSystemId, SimTime, SimTime)> {
+        self.episodes
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::ClientCrash { client } => Some((client, e.from, e.until)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the server is stalled at `at`.
+    pub fn server_stalled(&self, at: SimTime) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| e.active_at(at) && matches!(e.kind, FaultKind::ServerStall))
+    }
+
+    /// When the server stall covering `at` ends (the latest `until` among
+    /// overlapping stall episodes), if any.
+    pub fn server_stall_end(&self, at: SimTime) -> Option<SimTime> {
+        self.episodes
+            .iter()
+            .filter(|e| e.active_at(at) && matches!(e.kind, FaultKind::ServerStall))
+            .map(|e| e.until)
+            .max()
+    }
+
+    /// Samples a transfer on `client`'s link at `at` with all active
+    /// faults applied: `None` when the link is down or the (compounded)
+    /// loss fires, otherwise the base transfer time plus any latency-spike
+    /// penalty.
+    pub fn transfer_through(
+        &self,
+        link: &Link,
+        client: EndSystemId,
+        bytes: usize,
+        at: SimTime,
+        rng: &mut StdRng,
+    ) -> Option<SimDuration> {
+        if self.link_down(client, at) {
+            return None;
+        }
+        let surge = self.surge_loss(client, at);
+        let mut faulted = *link;
+        if surge > 0.0 {
+            faulted.loss = 1.0 - (1.0 - faulted.loss) * (1.0 - surge);
+        }
+        let base = faulted.transfer(bytes, rng)?;
+        let mut extra_ms = 0.0;
+        for e in &self.episodes {
+            if let FaultKind::LatencySpike {
+                client: c,
+                extra_ms: ms,
+                jitter_ms,
+            } = e.kind
+            {
+                if c == client && e.active_at(at) {
+                    extra_ms += ms;
+                    if jitter_ms > 0.0 {
+                        extra_ms += rng.gen_range(0.0..jitter_ms);
+                    }
+                }
+            }
+        }
+        Some(base + SimDuration::from_secs_f64(extra_ms / 1e3))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let plan = FaultPlan::new().link_outage(EndSystemId(0), t(10), t(20));
+        assert!(!plan.link_down(EndSystemId(0), t(9)));
+        assert!(plan.link_down(EndSystemId(0), t(10)));
+        assert!(plan.link_down(EndSystemId(0), t(19)));
+        assert!(!plan.link_down(EndSystemId(0), t(20)));
+        assert!(!plan.link_down(EndSystemId(1), t(15)));
+    }
+
+    #[test]
+    fn loss_surges_compound() {
+        let plan = FaultPlan::new()
+            .loss_surge(EndSystemId(0), 0.5, t(0), t(100))
+            .loss_surge(EndSystemId(0), 0.5, t(50), t(100));
+        assert!((plan.surge_loss(EndSystemId(0), t(10)) - 0.5).abs() < 1e-12);
+        assert!((plan.surge_loss(EndSystemId(0), t(60)) - 0.75).abs() < 1e-12);
+        assert_eq!(plan.surge_loss(EndSystemId(1), t(60)), 0.0);
+    }
+
+    #[test]
+    fn outage_blocks_every_transfer() {
+        let plan = FaultPlan::new().link_outage(EndSystemId(0), t(0), t(100));
+        let link = Link::ideal();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            assert_eq!(
+                plan.transfer_through(&link, EndSystemId(0), 100, t(5), &mut rng),
+                None
+            );
+        }
+        assert!(plan
+            .transfer_through(&link, EndSystemId(0), 100, t(100), &mut rng)
+            .is_some());
+    }
+
+    #[test]
+    fn latency_spike_inflates_transfers() {
+        let plan = FaultPlan::new().latency_spike(EndSystemId(0), 100.0, 0.0, t(0), t(100));
+        let link = Link::wan(5.0, 100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = link.transfer(1000, &mut rng).unwrap();
+        let spiked = plan
+            .transfer_through(&link, EndSystemId(0), 1000, t(5), &mut rng)
+            .unwrap();
+        assert_eq!(spiked, base + SimDuration::from_millis(100));
+        let after = plan
+            .transfer_through(&link, EndSystemId(0), 1000, t(200), &mut rng)
+            .unwrap();
+        assert_eq!(after, base);
+    }
+
+    #[test]
+    fn crash_windows_are_reported() {
+        let plan = FaultPlan::new()
+            .client_crash(EndSystemId(1), t(10), t(30))
+            .server_stall(t(40), t(50));
+        assert!(plan.client_crashed(EndSystemId(1), t(15)));
+        assert!(!plan.client_crashed(EndSystemId(0), t(15)));
+        assert_eq!(plan.crash_windows(), vec![(EndSystemId(1), t(10), t(30))]);
+        assert!(plan.server_stalled(t(45)));
+        assert_eq!(plan.server_stall_end(t(45)), Some(t(50)));
+        assert_eq!(plan.server_stall_end(t(55)), None);
+        assert_eq!(plan.horizon(), t(50));
+    }
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(4, SimDuration::from_millis(10_000), 9, 0.8);
+        let b = FaultPlan::random(4, SimDuration::from_millis(10_000), 9, 0.8);
+        let c = FaultPlan::random(4, SimDuration::from_millis(10_000), 10, 0.8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn zero_intensity_is_empty() {
+        let plan = FaultPlan::random(8, SimDuration::from_millis(1000), 3, 0.0);
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn plans_serialize_roundtrip() {
+        let plan = FaultPlan::new()
+            .loss_surge(EndSystemId(0), 0.1, t(0), t(10))
+            .client_crash(EndSystemId(1), t(5), t(15))
+            .server_stall(t(1), t(2));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_rejected() {
+        FaultEpisode::new(FaultKind::ServerStall, t(5), t(5));
+    }
+}

@@ -31,17 +31,19 @@
 #![warn(missing_docs)]
 
 mod event;
+mod fault;
 mod link;
 mod network;
 mod stats;
 mod time;
-mod trace;
 mod topology;
+mod trace;
 
 pub use event::EventQueue;
+pub use fault::{FaultEpisode, FaultKind, FaultPlan};
 pub use link::{LatencyModel, Link};
 pub use network::{Delivery, Direction, SimNetwork};
 pub use stats::{LatencyStats, TrafficCounter};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceEvent, TraceKind, TraceLog};
 pub use topology::{EndSystemId, GeoPoint, StarTopology};
+pub use trace::{TraceEvent, TraceKind, TraceLog};

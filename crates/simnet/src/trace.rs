@@ -19,6 +19,18 @@ pub enum TraceKind {
     SchedulerDrop,
     /// The network lost a message.
     NetworkDrop,
+    /// A lost message was retransmitted after a backoff.
+    Retransmit,
+    /// A message exhausted its retry budget and its batch was abandoned.
+    RetryExhausted,
+    /// An end-system crashed.
+    ClientCrash,
+    /// A crashed end-system recovered and rejoined.
+    ClientRecover,
+    /// Training state was checkpointed.
+    CheckpointSave,
+    /// An end-system was restored from a checkpoint.
+    CheckpointRestore,
 }
 
 /// One traced event.
@@ -49,7 +61,11 @@ impl TraceLog {
     /// Creates a log that keeps only the first `capacity` events (and
     /// counts the rest).
     pub fn with_capacity_limit(capacity: usize) -> Self {
-        TraceLog { events: Vec::new(), capacity: Some(capacity), dropped: 0 }
+        TraceLog {
+            events: Vec::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
     }
 
     /// Appends an event.
@@ -60,7 +76,11 @@ impl TraceLog {
                 return;
             }
         }
-        self.events.push(TraceEvent { at, kind, end_system });
+        self.events.push(TraceEvent {
+            at,
+            kind,
+            end_system,
+        });
     }
 
     /// All recorded events, in recording order.

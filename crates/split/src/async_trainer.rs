@@ -7,16 +7,42 @@
 //! wait in an [`crate::ArrivalQueue`] governed by a
 //! [`crate::SchedulingPolicy`]. This is the machinery behind experiment E4
 //! (queueing/staleness/scheduling) and the latency half of E5.
+//!
+//! # Fault tolerance
+//!
+//! The trainer survives a [`FaultPlan`] of scheduled fault episodes (link
+//! outages, loss surges, latency spikes, client crashes, server stalls):
+//!
+//! * **Retransmission** — a lost activation or gradient message is resent
+//!   under a [`RetryPolicy`] (exponential backoff + jitter); only when the
+//!   retry budget is exhausted is the batch abandoned and counted lost.
+//! * **Liveness tracking** — the server keeps last-seen bookkeeping per
+//!   end-system ([`LivenessTracker`]), declares silent ones dead, and
+//!   handles their rejoin; the epoch keeps progressing with the survivors
+//!   (graceful quorum degradation).
+//! * **Crash / recover** — a crashed end-system loses its outstanding
+//!   batch and its in-flight messages; on recovery it restores its private
+//!   layers from the last auto-checkpoint (if any) and resumes from its
+//!   persisted data-loader position.
+//! * **Auto-checkpointing** — with
+//!   [`AsyncSplitTrainer::with_auto_checkpoint`], the full deployment
+//!   state is snapshotted every interval of simulated time; the latest
+//!   snapshot drives crash recovery and is available afterwards via
+//!   [`AsyncSplitTrainer::last_checkpoint`].
 
+use crate::checkpoint::Checkpoint;
 use crate::client::EndSystem;
 use crate::config::SplitConfig;
 use crate::protocol::{ActivationMsg, GradientMsg};
 use crate::report::{AsyncReport, CommReport};
+use crate::resilience::{LivenessTracker, RetryPolicy};
 use crate::scheduler::{ArrivalQueue, SchedulingPolicy};
 use crate::server::CentralServer;
 use crate::trainer::ConfigError;
 use stsl_data::{ImageDataset, Partition};
-use stsl_simnet::{EndSystemId, EventQueue, SimDuration, SimTime, StarTopology, TraceKind, TraceLog};
+use stsl_simnet::{
+    EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime, StarTopology, TraceKind, TraceLog,
+};
 use stsl_tensor::init::{derive_seed, rng_from_seed};
 
 /// Timing knobs of the simulated deployment.
@@ -28,8 +54,9 @@ pub struct ComputeModel {
     /// Time the server needs to process one batch (forward + backward +
     /// step).
     pub server_batch: SimDuration,
-    /// How long a client waits for a lost message before abandoning the
-    /// batch and moving on.
+    /// Legacy loss-recovery knob: the default [`RetryPolicy`] is derived
+    /// from it (see [`RetryPolicy::from_timeout`]). Override with
+    /// [`AsyncSplitTrainer::with_retry_policy`] for full control.
     pub retry_timeout: SimDuration,
 }
 
@@ -49,10 +76,23 @@ enum Event {
     Arrival(ActivationMsg),
     /// A gradient reached its end-system.
     GradArrival(GradientMsg),
-    /// The server finished a batch and can pick the next queued one.
+    /// The server finished a batch (or a stall ended) and can pick the
+    /// next queued one.
     ServerFree,
-    /// A client's outstanding batch is presumed lost; skip it.
-    ClientSkip(EndSystemId),
+    /// A lost activation message is retransmitted. `failures` counts the
+    /// send attempts that have already failed.
+    UplinkRetry { msg: ActivationMsg, failures: u32 },
+    /// A lost gradient message is retransmitted.
+    DownlinkRetry { msg: GradientMsg, failures: u32 },
+    /// A client's outstanding batch is lost for good; abandon it and move
+    /// on to the next one.
+    BatchAbandon(EndSystemId),
+    /// A scheduled fault crashes the end-system.
+    ClientCrash(EndSystemId),
+    /// A crashed end-system comes back up.
+    ClientRecover(EndSystemId),
+    /// Periodic auto-checkpoint.
+    CheckpointTick,
 }
 
 /// Asynchronous trainer over a simulated network.
@@ -67,11 +107,30 @@ pub struct AsyncSplitTrainer {
     queue: ArrivalQueue,
     events: EventQueue<Event>,
     link_rngs: Vec<rand::rngs::StdRng>,
+    retry_rng: rand::rngs::StdRng,
     server_busy_until: SimTime,
     comm: CommReport,
     network_drops: u64,
     client_epoch: Vec<u64>,
     trace: Option<TraceLog>,
+    // Fault tolerance.
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
+    liveness_timeout: SimDuration,
+    liveness: LivenessTracker,
+    checkpoint_every: Option<SimDuration>,
+    last_ckpt: Option<Checkpoint>,
+    crashed: Vec<bool>,
+    down_since: Vec<Option<SimTime>>,
+    downtime_us: Vec<u64>,
+    stall_wake: Option<SimTime>,
+    retransmits: u64,
+    retry_exhausted: u64,
+    batches_lost_per_client: Vec<u64>,
+    crash_events: u64,
+    recovery_events: u64,
+    checkpoint_saves: u64,
+    checkpoint_restores: u64,
 }
 
 impl AsyncSplitTrainer {
@@ -124,7 +183,10 @@ impl AsyncSplitTrainer {
         let link_rngs = (0..config.end_systems)
             .map(|i| rng_from_seed(derive_seed(config.seed, 5000 + i as u64)))
             .collect();
+        let retry_rng = rng_from_seed(derive_seed(config.seed, 6000));
         let queue = ArrivalQueue::new(policy, config.end_systems);
+        let n = config.end_systems;
+        let liveness_timeout = SimDuration::from_millis(2_000);
         Ok(AsyncSplitTrainer {
             config,
             topology,
@@ -135,17 +197,76 @@ impl AsyncSplitTrainer {
             queue,
             events: EventQueue::new(),
             link_rngs,
+            retry_rng,
             server_busy_until: SimTime::ZERO,
             comm: CommReport::default(),
             network_drops: 0,
             client_epoch: Vec::new(),
             trace: None,
+            fault_plan: FaultPlan::new(),
+            retry: RetryPolicy::from_timeout(compute.retry_timeout),
+            liveness_timeout,
+            liveness: LivenessTracker::new(n, liveness_timeout),
+            checkpoint_every: None,
+            last_ckpt: None,
+            crashed: vec![false; n],
+            down_since: vec![None; n],
+            downtime_us: vec![0; n],
+            stall_wake: None,
+            retransmits: 0,
+            retry_exhausted: 0,
+            batches_lost_per_client: vec![0; n],
+            crash_events: 0,
+            recovery_events: 0,
+            checkpoint_saves: 0,
+            checkpoint_restores: 0,
         })
     }
 
+    /// Injects a schedule of faults (builder style). Crash windows are
+    /// turned into crash/recover events when the run starts; link faults
+    /// are consulted on every transfer.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the retransmission policy (builder style).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables periodic auto-checkpointing every `every` of simulated time
+    /// (builder style). The latest snapshot drives crash recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_auto_checkpoint(mut self, every: SimDuration) -> Self {
+        assert!(
+            every > SimDuration::ZERO,
+            "checkpoint interval must be positive"
+        );
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Overrides how long the server tolerates silence from an end-system
+    /// before declaring it dead (builder style; default 2 s).
+    pub fn with_liveness_timeout(mut self, timeout: SimDuration) -> Self {
+        self.liveness_timeout = timeout;
+        self
+    }
+
+    /// The most recent auto-checkpoint, if any was taken.
+    pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
+        self.last_ckpt.as_ref()
+    }
+
     /// Enables event tracing; every arrival, service start, gradient
-    /// delivery and drop is recorded for later inspection via
-    /// [`AsyncSplitTrainer::trace`].
+    /// delivery, drop, retransmission, crash, recovery and checkpoint is
+    /// recorded for later inspection via [`AsyncSplitTrainer::trace`].
     pub fn enable_trace(&mut self) {
         self.trace = Some(TraceLog::new());
     }
@@ -159,6 +280,12 @@ impl AsyncSplitTrainer {
         if let Some(log) = &mut self.trace {
             log.record(at, kind, id);
         }
+    }
+
+    /// The id used for server-scoped trace events (one past the last
+    /// end-system).
+    fn server_trace_id(&self) -> EndSystemId {
+        EndSystemId(self.clients.len())
     }
 
     /// Runs the configured number of client epochs to completion and
@@ -179,11 +306,22 @@ impl AsyncSplitTrainer {
     pub fn run_with_budget(
         &mut self,
         test: &ImageDataset,
-        budget: Option<stsl_simnet::SimDuration>,
+        budget: Option<SimDuration>,
     ) -> AsyncReport {
         self.client_epoch = vec![0; self.clients.len()];
+        self.liveness = LivenessTracker::new(self.clients.len(), self.liveness_timeout);
         for c in &mut self.clients {
             c.begin_epoch(0);
+        }
+        // Schedule every crash window from the fault plan.
+        for (id, from, until) in self.fault_plan.crash_windows() {
+            self.events.schedule(from, Event::ClientCrash(id));
+            self.events.schedule(until, Event::ClientRecover(id));
+        }
+        // First auto-checkpoint one interval in.
+        if let Some(iv) = self.checkpoint_every {
+            self.events
+                .schedule(SimTime::ZERO + iv, Event::CheckpointTick);
         }
         // Kick off: every client computes its first batch at t = 0.
         for i in 0..self.clients.len() {
@@ -196,9 +334,18 @@ impl AsyncSplitTrainer {
                     break;
                 }
             }
+            self.liveness.sweep(t);
             match event {
                 Event::Arrival(msg) => {
-                    self.trace_event(t, TraceKind::Arrival, msg.from);
+                    let id = msg.from;
+                    if self.crashed[id.0] {
+                        // The sender crashed while the message was in
+                        // flight; its forward cache is gone, so the batch
+                        // is useless to the server.
+                        continue;
+                    }
+                    self.trace_event(t, TraceKind::Arrival, id);
+                    self.liveness.observe(id, t);
                     self.queue.push(t, msg);
                     self.try_serve(t);
                 }
@@ -207,18 +354,101 @@ impl AsyncSplitTrainer {
                 }
                 Event::GradArrival(grad) => {
                     let id = grad.to;
+                    if self.crashed[id.0] {
+                        continue; // delivered into the void
+                    }
                     self.trace_event(t, TraceKind::GradientDelivered, id);
-                    self.clients[id.0].apply_gradient(&grad);
-                    // The gradient application costs client compute time.
-                    self.launch_next_batch(id, t + self.compute.client_batch);
+                    // A stale gradient (its batch was abandoned after a
+                    // retry exhaustion or crash) is ignored; the client
+                    // already moved on.
+                    if self.clients[id.0].apply_gradient(&grad).is_ok() {
+                        // The gradient application costs client compute
+                        // time.
+                        self.launch_next_batch(id, t + self.compute.client_batch);
+                    }
                 }
-                Event::ClientSkip(id) => {
+                Event::UplinkRetry { msg, failures } => {
+                    let id = msg.from;
+                    if self.crashed[id.0] {
+                        continue;
+                    }
+                    self.retransmits += 1;
+                    self.trace_event(t, TraceKind::Retransmit, id);
+                    self.send_uplink(msg, failures, t);
+                }
+                Event::DownlinkRetry { msg, failures } => {
+                    let id = msg.to;
+                    if self.crashed[id.0] {
+                        continue;
+                    }
+                    self.retransmits += 1;
+                    self.trace_event(t, TraceKind::Retransmit, id);
+                    self.send_downlink(msg, failures, t);
+                }
+                Event::BatchAbandon(id) => {
+                    if self.crashed[id.0] {
+                        continue;
+                    }
                     self.clients[id.0].abandon_outstanding();
                     self.launch_next_batch(id, t);
                 }
+                Event::ClientCrash(id) => {
+                    if self.crashed[id.0] {
+                        continue; // overlapping crash windows
+                    }
+                    self.crashed[id.0] = true;
+                    self.crash_events += 1;
+                    self.down_since[id.0] = Some(t);
+                    self.trace_event(t, TraceKind::ClientCrash, id);
+                    if self.clients[id.0].outstanding().is_some() {
+                        self.clients[id.0].abandon_outstanding();
+                        self.batches_lost_per_client[id.0] += 1;
+                    }
+                }
+                Event::ClientRecover(id) => {
+                    if !self.crashed[id.0] || self.fault_plan.client_crashed(id, t) {
+                        continue; // still inside an overlapping window
+                    }
+                    self.crashed[id.0] = false;
+                    self.recovery_events += 1;
+                    if let Some(s) = self.down_since[id.0].take() {
+                        self.downtime_us[id.0] += t.since(s).as_micros();
+                    }
+                    self.trace_event(t, TraceKind::ClientRecover, id);
+                    if let Some(ckpt) = self.last_ckpt.take() {
+                        // Crash-recovery restore: the private layers roll
+                        // back to the last persisted snapshot.
+                        self.clients[id.0]
+                            .model_mut()
+                            .load_state_dict(&ckpt.client_states[id.0]);
+                        self.last_ckpt = Some(ckpt);
+                        self.checkpoint_restores += 1;
+                        self.trace_event(t, TraceKind::CheckpointRestore, id);
+                    }
+                    self.launch_next_batch(id, t);
+                }
+                Event::CheckpointTick => {
+                    self.take_checkpoint(t);
+                    if let Some(iv) = self.checkpoint_every {
+                        // Only reschedule while the simulation still has
+                        // work; otherwise the tick would keep the event
+                        // loop alive forever.
+                        if !self.events.is_empty() {
+                            self.events.schedule(t + iv, Event::CheckpointTick);
+                        }
+                    }
+                }
             }
         }
-        let sim_seconds = self.events.now().as_secs_f64();
+        let end = self.events.now();
+        // Clients still down when the simulation ends accrue downtime to
+        // the end of the run.
+        for i in 0..self.clients.len() {
+            if let Some(s) = self.down_since[i].take() {
+                self.downtime_us[i] += end.since(s).as_micros();
+            }
+        }
+        let sim_seconds = end.as_secs_f64();
         let per: Vec<f32> = {
             let batch = self.config.batch_size.max(32);
             let server = &mut self.server;
@@ -241,18 +471,53 @@ impl AsyncSplitTrainer {
             mean_queue_wait_ms: self.queue.mean_wait().as_micros() as f64 / 1e3,
             scheduler_drops: self.queue.dropped(),
             network_drops: self.network_drops,
+            retransmits: self.retransmits,
+            retry_exhausted: self.retry_exhausted,
+            batches_lost: self.batches_lost_per_client.iter().sum(),
+            batches_lost_per_client: self.batches_lost_per_client.clone(),
+            downtime_ms_per_client: self.downtime_us.iter().map(|&us| us as f64 / 1e3).collect(),
+            crash_events: self.crash_events,
+            recovery_events: self.recovery_events,
+            checkpoint_saves: self.checkpoint_saves,
+            checkpoint_restores: self.checkpoint_restores,
+            dead_clients_detected: self.liveness.dead_detections(),
             comm: self.comm,
         }
     }
 
+    /// Snapshots the full deployment (config, server uppers, every
+    /// end-system's private lowers) as the latest auto-checkpoint.
+    fn take_checkpoint(&mut self, t: SimTime) {
+        let config = self.config.clone();
+        let server_state = self.server.model_mut().state_dict();
+        let client_states = self
+            .clients
+            .iter_mut()
+            .map(|c| c.model_mut().state_dict())
+            .collect();
+        self.last_ckpt = Some(Checkpoint {
+            config,
+            server_state,
+            client_states,
+        });
+        self.checkpoint_saves += 1;
+        let server_id = self.server_trace_id();
+        self.trace_event(t, TraceKind::CheckpointSave, server_id);
+    }
+
     /// Computes client `id`'s next batch starting at `t` and sends it
     /// uplink. Advances the client's epoch when its shard is exhausted;
-    /// stops silently after the final epoch.
+    /// stops silently (and retires the client from liveness tracking)
+    /// after the final epoch.
     fn launch_next_batch(&mut self, id: EndSystemId, t: SimTime) {
+        if self.crashed[id.0] {
+            return; // relaunched on recovery
+        }
         let client = &mut self.clients[id.0];
         if client.epoch_finished() {
             let next_epoch = self.client_epoch[id.0] + 1;
             if next_epoch >= self.config.epochs as u64 {
+                self.liveness.retire(id);
                 return; // this client is done for good
             }
             self.client_epoch[id.0] = next_epoch;
@@ -261,37 +526,101 @@ impl AsyncSplitTrainer {
         let Some(msg) = client.next_batch() else {
             return;
         };
+        self.send_uplink(msg, 0, t + self.compute.client_batch);
+    }
+
+    /// Attempts one uplink transmission of `msg` at `at` (`failures` prior
+    /// attempts have been lost). On loss, schedules a backed-off
+    /// retransmission — or abandons the batch once the budget is spent.
+    fn send_uplink(&mut self, msg: ActivationMsg, failures: u32, at: SimTime) {
+        let id = msg.from;
         let bytes = msg.encoded_len();
-        let send_at = t + self.compute.client_batch;
+        self.comm.uplink_bytes += bytes as u64;
+        self.comm.uplink_messages += 1;
         let link = *self.topology.link(id);
-        match link.transfer(bytes, &mut self.link_rngs[id.0]) {
+        match self
+            .fault_plan
+            .transfer_through(&link, id, bytes, at, &mut self.link_rngs[id.0])
+        {
             Some(dur) => {
-                self.comm.uplink_bytes += bytes as u64;
-                self.comm.uplink_messages += 1;
-                self.events.schedule(send_at + dur, Event::Arrival(msg));
+                self.events.schedule(at + dur, Event::Arrival(msg));
             }
             None => {
                 self.network_drops += 1;
-                self.trace_event(send_at, TraceKind::NetworkDrop, id);
-                self.events
-                    .schedule(send_at + self.compute.retry_timeout, Event::ClientSkip(id));
+                self.trace_event(at, TraceKind::NetworkDrop, id);
+                let failures = failures + 1;
+                if self.retry.may_retry(failures) {
+                    let delay = self.retry.backoff(failures, &mut self.retry_rng);
+                    self.events
+                        .schedule(at + delay, Event::UplinkRetry { msg, failures });
+                } else {
+                    self.give_up(id, at);
+                }
             }
         }
     }
 
-    /// If the server is idle at `t`, pops the next job per the scheduling
-    /// policy, processes it and schedules the completion + gradient
-    /// delivery. Clients whose jobs were discarded as stale are told to
-    /// skip.
+    /// Attempts one downlink transmission of `msg` at `at`, with the same
+    /// retransmission discipline as [`AsyncSplitTrainer::send_uplink`].
+    fn send_downlink(&mut self, msg: GradientMsg, failures: u32, at: SimTime) {
+        let id = msg.to;
+        let bytes = msg.encoded_len();
+        self.comm.downlink_bytes += bytes as u64;
+        self.comm.downlink_messages += 1;
+        let link = *self.topology.link(id);
+        match self
+            .fault_plan
+            .transfer_through(&link, id, bytes, at, &mut self.link_rngs[id.0])
+        {
+            Some(dur) => {
+                self.events.schedule(at + dur, Event::GradArrival(msg));
+            }
+            None => {
+                self.network_drops += 1;
+                self.trace_event(at, TraceKind::NetworkDrop, id);
+                let failures = failures + 1;
+                if self.retry.may_retry(failures) {
+                    let delay = self.retry.backoff(failures, &mut self.retry_rng);
+                    self.events
+                        .schedule(at + delay, Event::DownlinkRetry { msg, failures });
+                } else {
+                    self.give_up(id, at);
+                }
+            }
+        }
+    }
+
+    /// The retry budget for one of `id`'s messages is exhausted: count the
+    /// batch as lost and schedule its abandonment.
+    fn give_up(&mut self, id: EndSystemId, at: SimTime) {
+        self.retry_exhausted += 1;
+        self.batches_lost_per_client[id.0] += 1;
+        self.trace_event(at, TraceKind::RetryExhausted, id);
+        self.events.schedule(at, Event::BatchAbandon(id));
+    }
+
+    /// If the server is idle (and not stalled by a fault) at `t`, pops the
+    /// next job per the scheduling policy, processes it and schedules the
+    /// completion + gradient delivery. Clients whose jobs were discarded
+    /// as stale are told to skip.
     fn try_serve(&mut self, t: SimTime) {
+        if let Some(stall_end) = self.fault_plan.server_stall_end(t) {
+            // Wake up once when the stall lifts; queued work waits.
+            if self.stall_wake != Some(stall_end) {
+                self.stall_wake = Some(stall_end);
+                self.events.schedule(stall_end, Event::ServerFree);
+            }
+            return;
+        }
         if self.server_busy_until > t || self.queue.is_empty() {
             return;
         }
         let (job, discarded) = self.queue.pop(t);
         for msg in discarded {
             self.trace_event(t, TraceKind::SchedulerDrop, msg.from);
+            self.batches_lost_per_client[msg.from.0] += 1;
             // The client is still awaiting a gradient for this batch.
-            self.events.schedule(t, Event::ClientSkip(msg.from));
+            self.events.schedule(t, Event::BatchAbandon(msg.from));
         }
         let Some(job) = job else { return };
         self.trace_event(t, TraceKind::ServiceStart, job.msg.from);
@@ -299,23 +628,7 @@ impl AsyncSplitTrainer {
         let done = t + self.compute.server_batch;
         self.server_busy_until = done;
         self.events.schedule(done, Event::ServerFree);
-        let id = out.gradient.to;
-        let bytes = out.gradient.encoded_len();
-        let link = *self.topology.link(id);
-        match link.transfer(bytes, &mut self.link_rngs[id.0]) {
-            Some(dur) => {
-                self.comm.downlink_bytes += bytes as u64;
-                self.comm.downlink_messages += 1;
-                self.events
-                    .schedule(done + dur, Event::GradArrival(out.gradient));
-            }
-            None => {
-                self.network_drops += 1;
-                self.trace_event(done, TraceKind::NetworkDrop, id);
-                self.events
-                    .schedule(done + self.compute.retry_timeout, Event::ClientSkip(id));
-            }
-        }
+        self.send_downlink(out.gradient, 0, done);
     }
 }
 
@@ -357,6 +670,8 @@ mod tests {
         assert_eq!(r.served_per_client, vec![3, 3]);
         assert_eq!(r.scheduler_drops, 0);
         assert_eq!(r.network_drops, 0);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.batches_lost, 0);
         assert!(r.sim_seconds > 0.0);
         assert_eq!(r.comm.uplink_messages, 6);
         assert_eq!(r.comm.downlink_messages, 6);
@@ -392,19 +707,61 @@ mod tests {
     }
 
     #[test]
-    fn lossy_network_drops_but_still_completes() {
+    fn lossy_network_retransmits_and_still_serves_every_batch() {
+        // 20 % loss on client 0's link: with retransmission the run now
+        // completes *all* batches (where the old fixed-timeout design
+        // silently lost them) at the cost of retransmits and extra
+        // messages.
         let top = StarTopology::new(vec![Link::wan(5.0, 100.0).loss(0.2), Link::wan(5.0, 100.0)]);
         let r = run_with(SchedulingPolicy::Fifo, top, 2, 2);
         assert!(r.network_drops > 0, "expected some drops");
-        // The lossless client served all its batches.
-        assert_eq!(r.served_per_client[1], 6);
-        // The lossy client completed fewer but did not wedge the run.
-        assert!(r.served_per_client[0] < 6);
+        assert!(r.retransmits > 0, "expected retransmissions");
+        assert_eq!(r.served_per_client, vec![6, 6]);
+        assert_eq!(r.batches_lost, 0);
+        // Every drop was either retransmitted or (never, here) given up.
+        assert_eq!(r.retransmits + r.retry_exhausted, r.network_drops);
+        // Retransmissions cost extra messages over the 12 useful ones.
+        assert!(r.comm.uplink_messages + r.comm.downlink_messages > 24);
+    }
+
+    #[test]
+    fn pathological_loss_exhausts_retries_but_does_not_wedge() {
+        // 90 % loss and a tiny retry budget: batches get abandoned, but
+        // the run still terminates and the lossless client is unharmed.
+        let top = StarTopology::new(vec![Link::wan(5.0, 100.0).loss(0.9), Link::wan(5.0, 100.0)]);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_retry_policy(RetryPolicy {
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(40),
+            jitter_frac: 0.1,
+            max_attempts: 2,
+        });
+        let r = t.run(&test);
+        assert!(r.retry_exhausted > 0, "expected exhausted retries: {:?}", r);
+        assert!(r.batches_lost > 0);
+        assert_eq!(r.batches_lost_per_client[1], 0);
+        assert_eq!(r.served_per_client[1], 3);
     }
 
     #[test]
     fn trace_records_protocol_events() {
-        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).batch_size(8).seed(4);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
         let train = data(32);
         let test = data(8);
         let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
@@ -427,6 +784,8 @@ mod tests {
         assert_eq!(trace.count(TraceKind::GradientDelivered), 4);
         assert_eq!(trace.count(TraceKind::SchedulerDrop), 0);
         assert_eq!(trace.count(TraceKind::NetworkDrop), 0);
+        assert_eq!(trace.count(TraceKind::Retransmit), 0);
+        assert_eq!(trace.count(TraceKind::ClientCrash), 0);
         // CSV export is well-formed.
         assert_eq!(trace.to_csv().lines().count(), 13);
     }
@@ -504,5 +863,172 @@ mod tests {
             "expected stale drops, report {:?}",
             r
         );
+        // Scheduler discards count as lost work too.
+        assert_eq!(r.batches_lost, r.scheduler_drops);
+    }
+
+    #[test]
+    fn crash_window_loses_work_then_recovers_from_checkpoint() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(4)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let plan = FaultPlan::new().client_crash(
+            EndSystemId(0),
+            SimTime::from_millis(40),
+            SimTime::from_millis(400),
+        );
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_fault_plan(plan)
+        .with_auto_checkpoint(SimDuration::from_millis(25));
+        t.enable_trace();
+        let r = t.run(&test);
+        assert_eq!(r.crash_events, 1);
+        assert_eq!(r.recovery_events, 1);
+        assert_eq!(r.checkpoint_restores, 1);
+        assert!(r.checkpoint_saves > 0);
+        assert!(
+            (r.downtime_ms_per_client[0] - 360.0).abs() < 1.0,
+            "downtime {:?}",
+            r.downtime_ms_per_client
+        );
+        assert_eq!(r.downtime_ms_per_client[1], 0.0);
+        // The crashed client still finished all its batches after
+        // recovery (run-to-completion), minus at most the one lost.
+        assert!(r.served_per_client[0] >= 11, "{:?}", r.served_per_client);
+        assert_eq!(r.served_per_client[1], 12);
+        let trace = t.trace().unwrap();
+        assert_eq!(trace.count(TraceKind::ClientCrash), 1);
+        assert_eq!(trace.count(TraceKind::ClientRecover), 1);
+        assert_eq!(trace.count(TraceKind::CheckpointRestore), 1);
+        assert!(trace.count(TraceKind::CheckpointSave) > 0);
+        assert!(t.last_checkpoint().is_some());
+    }
+
+    #[test]
+    fn liveness_detects_dead_client_during_long_crash() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(6)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let plan = FaultPlan::new().client_crash(
+            EndSystemId(0),
+            SimTime::from_millis(30),
+            SimTime::from_millis(800),
+        );
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_fault_plan(plan)
+        .with_liveness_timeout(SimDuration::from_millis(100));
+        let r = t.run(&test);
+        assert!(
+            r.dead_clients_detected >= 1,
+            "server should notice the silence: {:?}",
+            r
+        );
+        // The survivor kept training the whole time (quorum of one).
+        assert_eq!(r.served_per_client[1], 18);
+    }
+
+    #[test]
+    fn server_stall_delays_but_loses_nothing() {
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let mk = |plan: FaultPlan| {
+            let cfg = SplitConfig::tiny(CutPoint(1), 2)
+                .epochs(1)
+                .batch_size(8)
+                .seed(4);
+            let train = data(48);
+            let test = data(20);
+            let mut t = AsyncSplitTrainer::new(
+                cfg,
+                &train,
+                top.clone(),
+                SchedulingPolicy::Fifo,
+                ComputeModel::default(),
+            )
+            .unwrap()
+            .with_fault_plan(plan);
+            t.run(&test)
+        };
+        let clean = mk(FaultPlan::new());
+        let stalled =
+            mk(FaultPlan::new().server_stall(SimTime::from_millis(10), SimTime::from_millis(300)));
+        assert_eq!(stalled.served_per_client, clean.served_per_client);
+        assert_eq!(stalled.batches_lost, 0);
+        assert!(
+            stalled.sim_seconds > clean.sim_seconds + 0.2,
+            "stall should delay: {} vs {}",
+            stalled.sim_seconds,
+            clean.sim_seconds
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        let mk = || {
+            let cfg = SplitConfig::tiny(CutPoint(1), 2)
+                .epochs(2)
+                .batch_size(8)
+                .seed(9);
+            let train = data(48);
+            let test = data(20);
+            let top = StarTopology::new(vec![
+                Link::wan(5.0, 100.0).loss(0.15),
+                Link::wan(40.0, 100.0),
+            ]);
+            let plan = FaultPlan::new()
+                .client_crash(
+                    EndSystemId(1),
+                    SimTime::from_millis(50),
+                    SimTime::from_millis(250),
+                )
+                .loss_surge(
+                    EndSystemId(0),
+                    0.3,
+                    SimTime::from_millis(0),
+                    SimTime::from_millis(200),
+                );
+            let mut t = AsyncSplitTrainer::new(
+                cfg,
+                &train,
+                top,
+                SchedulingPolicy::Fifo,
+                ComputeModel::default(),
+            )
+            .unwrap()
+            .with_fault_plan(plan)
+            .with_auto_checkpoint(SimDuration::from_millis(40));
+            t.enable_trace();
+            let r = t.run(&test);
+            let csv = t.trace().unwrap().to_csv();
+            (r, csv)
+        };
+        let (a, csv_a) = mk();
+        let (b, csv_b) = mk();
+        assert_eq!(csv_a, csv_b, "identical seeds must reproduce the trace");
+        assert_eq!(a.retransmits, b.retransmits);
+        assert_eq!(a.sim_seconds, b.sim_seconds);
+        assert_eq!(a.final_accuracy, b.final_accuracy);
+        assert_eq!(a.downtime_ms_per_client, b.downtime_ms_per_client);
     }
 }

@@ -23,15 +23,28 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    /// Writes the checkpoint as pretty JSON.
+    /// Writes the checkpoint as JSON, atomically: the bytes go to a
+    /// sibling `.tmp` file first and are renamed into place, so a crash
+    /// mid-write can never leave a truncated checkpoint at `path`.
     ///
     /// # Errors
     ///
     /// Propagates filesystem and serialization failures.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
         let json = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        std::fs::write(&tmp, json)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 
     /// Reads a checkpoint written by [`Checkpoint::save`].
@@ -130,11 +143,42 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("ckpt.json");
         ckpt.save(&path).unwrap();
+        // The temp file of the atomic write is gone after a save.
+        assert!(!dir.join("ckpt.json.tmp").exists());
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back.server_state, ckpt.server_state);
         assert_eq!(back.client_states, ckpt.client_states);
         assert_eq!(back.config.end_systems, 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_or_corrupt_checkpoint_loads_as_clean_error() {
+        let train = data(24, 8);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).seed(8);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        let ckpt = t.checkpoint();
+        let dir = std::env::temp_dir().join("stsl_ckpt_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        ckpt.save(&path).unwrap();
+
+        // Truncate the file mid-stream, as a crash during a non-atomic
+        // write would have.
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // Valid JSON of the wrong shape is also a clean error.
+        std::fs::write(&path, r#"{"config": 7}"#).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        // A missing file surfaces as NotFound, not InvalidData.
+        std::fs::remove_file(&path).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
     }
 
     #[test]

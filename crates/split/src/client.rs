@@ -8,6 +8,53 @@ use stsl_simnet::EndSystemId;
 use stsl_tensor::init::{derive_seed, rng_from_seed};
 use stsl_tensor::Tensor;
 
+/// A gradient message that does not answer the protocol's outstanding
+/// request — either nothing is outstanding, or the batch ids disagree.
+///
+/// Under a faulty network these are runtime conditions, not programming
+/// errors: a retransmitted gradient can arrive after its batch was
+/// abandoned, or after a crash wiped the end-system's forward cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A gradient arrived while no batch was outstanding.
+    NoBatchOutstanding {
+        /// The receiving end-system.
+        client: EndSystemId,
+    },
+    /// A gradient arrived for a different batch than the outstanding one.
+    BatchMismatch {
+        /// The receiving end-system.
+        client: EndSystemId,
+        /// The batch the end-system is awaiting.
+        expected: BatchId,
+        /// The batch the gradient answers.
+        got: BatchId,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::NoBatchOutstanding { client } => write!(
+                f,
+                "end-system {} received a gradient with no batch outstanding",
+                client
+            ),
+            ProtocolError::BatchMismatch {
+                client,
+                expected,
+                got,
+            } => write!(
+                f,
+                "end-system {} got gradient for {} while awaiting {}",
+                client, got, expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
 /// One end-system (a hospital in the paper's motivating scenario).
 ///
 /// It owns:
@@ -170,24 +217,25 @@ impl EndSystem {
     /// Applies the server's cut-layer gradient: backpropagates through the
     /// private layers and steps the local optimizer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the gradient does not answer the outstanding batch.
-    pub fn apply_gradient(&mut self, msg: &GradientMsg) {
-        let expected = self.awaiting.take().unwrap_or_else(|| {
-            panic!(
-                "end-system {} received a gradient with no batch outstanding",
-                self.id
-            )
-        });
-        assert_eq!(
-            msg.batch_id, expected,
-            "end-system {} got gradient for {} while awaiting {}",
-            self.id, msg.batch_id, expected
-        );
+    /// Returns [`ProtocolError`] — without touching any state — if the
+    /// gradient does not answer the outstanding batch.
+    pub fn apply_gradient(&mut self, msg: &GradientMsg) -> Result<(), ProtocolError> {
+        let expected = self
+            .awaiting
+            .ok_or(ProtocolError::NoBatchOutstanding { client: self.id })?;
+        if msg.batch_id != expected {
+            return Err(ProtocolError::BatchMismatch {
+                client: self.id,
+                expected,
+                got: msg.batch_id,
+            });
+        }
+        self.awaiting = None;
         self.grads_applied += 1;
         if self.model.is_empty() {
-            return; // cut 0: nothing to train locally
+            return Ok(()); // cut 0: nothing to train locally
         }
         self.model.zero_grads();
         self.model.backward(&msg.grad);
@@ -196,6 +244,12 @@ impl EndSystem {
         // optimizer anyway; the offset is defense in depth).
         self.model
             .step_with_base(self.opt.as_mut(), self.id.0 << 20);
+        Ok(())
+    }
+
+    /// The batch currently awaiting a gradient, if any.
+    pub fn outstanding(&self) -> Option<BatchId> {
+        self.awaiting
     }
 
     /// Abandons the outstanding batch (used when the network dropped the
@@ -270,7 +324,8 @@ mod tests {
                 to: c.id(),
                 batch_id: msg.batch_id,
                 grad,
-            });
+            })
+            .unwrap();
         }
         assert_eq!(count, 3);
         assert!(c.epoch_finished());
@@ -297,8 +352,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no batch outstanding")]
-    fn gradient_without_batch_panics() {
+    fn gradient_without_batch_is_a_typed_error() {
         let mut c = make_client(1, 10);
         c.begin_epoch(0);
         let grad = GradientMsg {
@@ -306,7 +360,40 @@ mod tests {
             batch_id: BatchId { epoch: 0, batch: 0 },
             grad: Tensor::zeros([1]),
         };
-        c.apply_gradient(&grad);
+        let err = c.apply_gradient(&grad).unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::NoBatchOutstanding {
+                client: EndSystemId(0)
+            }
+        );
+        assert!(err.to_string().contains("no batch outstanding"));
+        assert_eq!(c.grads_applied(), 0);
+    }
+
+    #[test]
+    fn mismatched_gradient_is_rejected_without_clearing_state() {
+        let mut c = make_client(1, 10);
+        c.begin_epoch(0);
+        let msg = c.next_batch().unwrap();
+        let stale = GradientMsg {
+            to: c.id(),
+            batch_id: BatchId { epoch: 9, batch: 9 },
+            grad: Tensor::zeros(msg.activations.dims().to_vec()),
+        };
+        let err = c.apply_gradient(&stale).unwrap_err();
+        assert!(matches!(err, ProtocolError::BatchMismatch { .. }));
+        assert!(err.to_string().contains("awaiting"));
+        // The outstanding batch is untouched; the right gradient still
+        // applies.
+        assert_eq!(c.outstanding(), Some(msg.batch_id));
+        c.apply_gradient(&GradientMsg {
+            to: c.id(),
+            batch_id: msg.batch_id,
+            grad: Tensor::zeros(msg.activations.dims().to_vec()),
+        })
+        .unwrap();
+        assert_eq!(c.outstanding(), None);
     }
 
     #[test]
@@ -320,7 +407,8 @@ mod tests {
             to: c.id(),
             batch_id: msg.batch_id,
             grad,
-        });
+        })
+        .unwrap();
         let after = c.model_mut().state_dict();
         assert!(
             before.iter().zip(&after).any(|(a, b)| a != b),
@@ -381,6 +469,7 @@ mod tests {
             to: c.id(),
             batch_id: msg.batch_id,
             grad,
-        });
+        })
+        .unwrap();
     }
 }

@@ -50,6 +50,7 @@ mod config;
 mod model;
 pub mod protocol;
 mod report;
+mod resilience;
 mod scheduler;
 mod server;
 mod trainer;
@@ -57,10 +58,11 @@ mod ushaped;
 
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
 pub use checkpoint::Checkpoint;
-pub use client::EndSystem;
+pub use client::{EndSystem, ProtocolError};
 pub use config::{OptimizerKind, PartitionKind, SplitConfig};
 pub use model::{CnnArch, CutPoint, PoolKind, LAYERS_PER_BLOCK};
 pub use report::{AsyncReport, CommReport, EpochStats, TrainReport};
+pub use resilience::{LivenessTracker, RetryPolicy};
 pub use scheduler::{ArrivalQueue, QueuedJob, SchedulingPolicy};
 pub use server::{CentralServer, ServerStepOutput};
 pub use trainer::{ConfigError, SpatioTemporalTrainer};

@@ -94,6 +94,37 @@ pub struct AsyncReport {
     pub scheduler_drops: u64,
     /// Messages lost by the network.
     pub network_drops: u64,
+    /// Lost messages that were retransmitted after a backoff.
+    #[serde(default)]
+    pub retransmits: u64,
+    /// Messages whose retry budget ran out.
+    #[serde(default)]
+    pub retry_exhausted: u64,
+    /// Batches lost for good (retry exhaustion, scheduler discards and
+    /// crashes), totalled over all end-systems.
+    #[serde(default)]
+    pub batches_lost: u64,
+    /// Batches lost for good, per end-system.
+    #[serde(default)]
+    pub batches_lost_per_client: Vec<u64>,
+    /// Simulated milliseconds each end-system spent crashed.
+    #[serde(default)]
+    pub downtime_ms_per_client: Vec<f64>,
+    /// End-system crash events.
+    #[serde(default)]
+    pub crash_events: u64,
+    /// End-system recovery events.
+    #[serde(default)]
+    pub recovery_events: u64,
+    /// Auto-checkpoints taken during the run.
+    #[serde(default)]
+    pub checkpoint_saves: u64,
+    /// End-systems restored from a checkpoint after a crash.
+    #[serde(default)]
+    pub checkpoint_restores: u64,
+    /// Times the server's liveness tracker declared an end-system dead.
+    #[serde(default)]
+    pub dead_clients_detected: u64,
     /// Communication totals.
     pub comm: CommReport,
 }
@@ -156,11 +187,44 @@ mod tests {
             mean_queue_wait_ms: 3.0,
             scheduler_drops: 0,
             network_drops: 1,
+            retransmits: 1,
+            retry_exhausted: 0,
+            batches_lost: 1,
+            batches_lost_per_client: vec![1, 0],
+            downtime_ms_per_client: vec![0.0, 12.5],
+            crash_events: 1,
+            recovery_events: 1,
+            checkpoint_saves: 2,
+            checkpoint_restores: 1,
+            dead_clients_detected: 1,
             comm: CommReport::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
         assert!(json.contains("fifo"));
+        assert!(json.contains("retransmits"));
         let back: AsyncReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.served_per_client, vec![3, 4]);
+        assert_eq!(back.retransmits, 1);
+        assert_eq!(back.downtime_ms_per_client, vec![0.0, 12.5]);
+    }
+
+    #[test]
+    fn async_report_robustness_fields_default_when_absent() {
+        // Results files written before the fault-tolerance fields existed
+        // still load: the robustness metrics default to zero/empty.
+        let json = r#"{
+            "policy": "fifo", "end_systems": 1, "cut_blocks": 1,
+            "sim_seconds": 1.0, "final_accuracy": 0.5,
+            "served_per_client": [2], "service_imbalance": 0.0,
+            "mean_queue_depth": 0.0, "max_queue_depth": 1,
+            "mean_queue_wait_ms": 0.0, "scheduler_drops": 0,
+            "network_drops": 0,
+            "comm": {"uplink_bytes": 0, "downlink_bytes": 0,
+                     "uplink_messages": 0, "downlink_messages": 0}
+        }"#;
+        let r: AsyncReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.batches_lost_per_client, Vec::<u64>::new());
+        assert_eq!(r.crash_events, 0);
     }
 }

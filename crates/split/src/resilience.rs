@@ -1,0 +1,244 @@
+//! Fault-tolerance policies for the asynchronous trainer: retransmission
+//! backoff and server-side liveness tracking.
+
+use stsl_simnet::{EndSystemId, SimDuration, SimTime};
+
+/// Retransmission policy for lost protocol messages: exponential backoff
+/// with jitter and a bounded retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Backoff before the first retransmission.
+    pub base_backoff: SimDuration,
+    /// Backoff ceiling — doubling stops here.
+    pub max_backoff: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each backoff adds `U[0, frac · b)`.
+    pub jitter_frac: f64,
+    /// Total send attempts per message (first try included). After this
+    /// many failures the batch is abandoned.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff: SimDuration::from_millis(50),
+            max_backoff: SimDuration::from_millis(2_000),
+            jitter_frac: 0.2,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Derives a policy from the legacy single-timeout knob
+    /// ([`crate::ComputeModel::retry_timeout`]): first backoff at a
+    /// quarter of the timeout, ceiling at four timeouts, five attempts.
+    pub fn from_timeout(timeout: SimDuration) -> Self {
+        let quarter = (timeout.as_micros() / 4).max(1);
+        RetryPolicy {
+            base_backoff: SimDuration::from_micros(quarter),
+            max_backoff: SimDuration::from_micros(quarter.saturating_mul(16).max(1)),
+            jitter_frac: 0.1,
+            max_attempts: 5,
+        }
+    }
+
+    /// Backoff before retransmission number `attempt` (1-based: the first
+    /// retransmission is attempt 1). Exponential in the attempt number,
+    /// capped at [`RetryPolicy::max_backoff`], plus sampled jitter.
+    pub fn backoff(&self, attempt: u32, rng: &mut rand::rngs::StdRng) -> SimDuration {
+        use rand::Rng;
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self
+            .base_backoff
+            .as_micros()
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff.as_micros())
+            .max(1);
+        let jitter = if self.jitter_frac > 0.0 {
+            let amp = (base as f64 * self.jitter_frac).ceil() as u64;
+            if amp > 0 {
+                rng.gen_range(0..amp)
+            } else {
+                0
+            }
+        } else {
+            0
+        };
+        SimDuration::from_micros(base + jitter)
+    }
+
+    /// Whether a message that already failed `failures` times may be
+    /// retransmitted.
+    pub fn may_retry(&self, failures: u32) -> bool {
+        failures < self.max_attempts
+    }
+}
+
+/// The server's view of which end-systems are alive, from last-seen
+/// bookkeeping on uplink arrivals.
+#[derive(Debug, Clone)]
+pub struct LivenessTracker {
+    last_seen: Vec<SimTime>,
+    alive: Vec<bool>,
+    /// Retired end-systems finished their work; silence from them is
+    /// expected and never flagged as death.
+    retired: Vec<bool>,
+    timeout: SimDuration,
+    dead_detections: u64,
+    rejoins: u64,
+}
+
+impl LivenessTracker {
+    /// Creates a tracker for `n` end-systems, all considered alive and
+    /// last seen at `t = 0`.
+    pub fn new(n: usize, timeout: SimDuration) -> Self {
+        LivenessTracker {
+            last_seen: vec![SimTime::ZERO; n],
+            alive: vec![true; n],
+            retired: vec![false; n],
+            timeout,
+            dead_detections: 0,
+            rejoins: 0,
+        }
+    }
+
+    /// Records traffic from `id` at `at`. Returns `true` if the
+    /// end-system had been declared dead and is now rejoining.
+    pub fn observe(&mut self, id: EndSystemId, at: SimTime) -> bool {
+        self.last_seen[id.0] = at;
+        let rejoined = !self.alive[id.0];
+        if rejoined {
+            self.alive[id.0] = true;
+            self.rejoins += 1;
+        }
+        rejoined
+    }
+
+    /// Marks `id` as done with its work: it will never be declared dead.
+    pub fn retire(&mut self, id: EndSystemId) {
+        self.retired[id.0] = true;
+    }
+
+    /// Declares dead every non-retired end-system silent for longer than
+    /// the timeout. Returns the newly dead.
+    pub fn sweep(&mut self, at: SimTime) -> Vec<EndSystemId> {
+        let mut newly_dead = Vec::new();
+        for i in 0..self.alive.len() {
+            if self.alive[i] && !self.retired[i] && at.since(self.last_seen[i]) > self.timeout {
+                self.alive[i] = false;
+                self.dead_detections += 1;
+                newly_dead.push(EndSystemId(i));
+            }
+        }
+        newly_dead
+    }
+
+    /// Whether `id` is currently considered alive.
+    pub fn is_alive(&self, id: EndSystemId) -> bool {
+        self.alive[id.0]
+    }
+
+    /// Number of end-systems currently considered alive.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Total death declarations over the run.
+    pub fn dead_detections(&self) -> u64 {
+        self.dead_detections
+    }
+
+    /// Total rejoin events (dead end-systems heard from again).
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stsl_tensor::init::rng_from_seed;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(80),
+            jitter_frac: 0.0,
+            max_attempts: 10,
+        };
+        let mut rng = rng_from_seed(1);
+        assert_eq!(p.backoff(1, &mut rng), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(2, &mut rng), SimDuration::from_millis(20));
+        assert_eq!(p.backoff(3, &mut rng), SimDuration::from_millis(40));
+        assert_eq!(p.backoff(4, &mut rng), SimDuration::from_millis(80));
+        // Capped from here on.
+        assert_eq!(p.backoff(7, &mut rng), SimDuration::from_millis(80));
+    }
+
+    #[test]
+    fn jitter_stays_within_fraction() {
+        let p = RetryPolicy {
+            base_backoff: SimDuration::from_millis(100),
+            max_backoff: SimDuration::from_millis(100),
+            jitter_frac: 0.5,
+            max_attempts: 3,
+        };
+        let mut rng = rng_from_seed(2);
+        for _ in 0..100 {
+            let b = p.backoff(1, &mut rng).as_micros();
+            assert!((100_000..150_000 + 1).contains(&b), "backoff {}", b);
+        }
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.may_retry(0));
+        assert!(p.may_retry(2));
+        assert!(!p.may_retry(3));
+    }
+
+    #[test]
+    fn from_timeout_scales_the_legacy_knob() {
+        let p = RetryPolicy::from_timeout(SimDuration::from_millis(400));
+        assert_eq!(p.base_backoff, SimDuration::from_millis(100));
+        assert_eq!(p.max_backoff, SimDuration::from_millis(1_600));
+        assert!(p.max_attempts > 1);
+    }
+
+    #[test]
+    fn liveness_detects_death_and_rejoin() {
+        let t = |ms| SimTime::from_millis(ms);
+        let mut lt = LivenessTracker::new(2, SimDuration::from_millis(100));
+        lt.observe(EndSystemId(0), t(50));
+        lt.observe(EndSystemId(1), t(50));
+        assert!(lt.sweep(t(100)).is_empty());
+        lt.observe(EndSystemId(0), t(150));
+        // Client 1 has been silent for 101 ms -> dead.
+        let dead = lt.sweep(t(151));
+        assert_eq!(dead, vec![EndSystemId(1)]);
+        assert!(!lt.is_alive(EndSystemId(1)));
+        assert_eq!(lt.alive_count(), 1);
+        assert_eq!(lt.dead_detections(), 1);
+        // Heard from again -> rejoin.
+        assert!(lt.observe(EndSystemId(1), t(200)));
+        assert!(lt.is_alive(EndSystemId(1)));
+        assert_eq!(lt.rejoins(), 1);
+        // A normal observe is not a rejoin.
+        assert!(!lt.observe(EndSystemId(0), t(200)));
+    }
+
+    #[test]
+    fn retired_clients_are_never_declared_dead() {
+        let t = |ms| SimTime::from_millis(ms);
+        let mut lt = LivenessTracker::new(1, SimDuration::from_millis(10));
+        lt.retire(EndSystemId(0));
+        assert!(lt.sweep(t(10_000)).is_empty());
+        assert!(lt.is_alive(EndSystemId(0)));
+    }
+}

@@ -128,7 +128,8 @@ impl SpatioTemporalTrainer {
                 let out = self.server.process(&msg);
                 self.comm.downlink_bytes += out.gradient.encoded_len() as u64;
                 self.comm.downlink_messages += 1;
-                c.apply_gradient(&out.gradient);
+                c.apply_gradient(&out.gradient)
+                    .expect("sync protocol answers every batch in order");
                 loss.push(out.loss);
                 acc.push(out.batch_accuracy);
             }
@@ -253,8 +254,8 @@ mod tests {
     #[test]
     fn training_improves_over_random_chance() {
         let cfg = SplitConfig::tiny(CutPoint(1), 2)
-            .epochs(6)
-            .learning_rate(0.01)
+            .epochs(8)
+            .learning_rate(0.02)
             .seed(1);
         let train = data(200);
         let test = SyntheticCifar::new(77)
@@ -267,7 +268,7 @@ mod tests {
             "accuracy {} not better than chance",
             report.final_accuracy
         );
-        assert_eq!(report.epochs.len(), 6);
+        assert_eq!(report.epochs.len(), 8);
         assert_eq!(report.per_client_accuracy.len(), 2);
         // Loss decreased over training.
         assert!(report.epochs.last().unwrap().train_loss < report.epochs[0].train_loss);

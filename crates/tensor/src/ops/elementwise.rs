@@ -70,7 +70,12 @@ impl Tensor {
     }
 
     fn fold_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert!(axis < self.rank(), "axis {} out of range for rank {}", axis, self.rank());
+        assert!(
+            axis < self.rank(),
+            "axis {} out of range for rank {}",
+            axis,
+            self.rank()
+        );
         assert!(self.dim(axis) > 0, "reduction over empty axis");
         let out_shape: Shape = self.shape().remove_axis(axis);
         let dims = self.dims();
@@ -153,8 +158,12 @@ mod tests {
         let t = Tensor::randn([200], &mut rng_from_seed(2));
         let v = t.var_axis(0).item();
         let mean = t.mean();
-        let direct =
-            t.as_slice().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 200.0;
+        let direct = t
+            .as_slice()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 200.0;
         assert!((v - direct).abs() < 1e-4);
     }
 }

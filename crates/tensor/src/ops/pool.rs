@@ -134,7 +134,9 @@ pub fn avgpool2d_backward(
     spec: ConvSpec,
 ) -> Tensor {
     let (n, c, h, w) = input_dims;
-    let (oh, ow) = spec.output_hw(h, w).expect("pooling window does not fit input");
+    let (oh, ow) = spec
+        .output_hw(h, w)
+        .expect("pooling window does not fit input");
     assert_eq!(dout.dims(), &[n, c, oh, ow], "dout shape mismatch");
     let g = dout.as_slice();
     let mut dinput = vec![0.0f32; n * c * h * w];
@@ -283,7 +285,11 @@ mod tests {
         let dx = avgpool2d_backward(&m, (2, 2, 4, 4), pool2());
         let loss = |x: &Tensor| -> f32 {
             let o = avgpool2d_forward(x, pool2());
-            o.as_slice().iter().zip(m.as_slice()).map(|(a, b)| a * b).sum()
+            o.as_slice()
+                .iter()
+                .zip(m.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-3;
         for i in (0..x.len()).step_by(5) {

@@ -12,7 +12,7 @@
 //! ```
 
 use stsl_data::SyntheticCifar;
-use stsl_simnet::{Link, SimDuration, StarTopology};
+use stsl_simnet::{SimDuration, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, SchedulingPolicy, SplitConfig,
 };

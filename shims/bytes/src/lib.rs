@@ -1,0 +1,253 @@
+//! Workspace-local stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] (an immutable buffer with a read cursor), [`BytesMut`]
+//! (a growable write buffer) and the slices of the [`Buf`]/[`BufMut`] traits
+//! the workspace's wire protocol uses. Backed by plain `Vec<u8>`; no
+//! reference-counted zero-copy splitting, which the workspace does not need.
+
+#![forbid(unsafe_code)]
+
+/// Immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    cursor: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps an owned byte vector.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Bytes { data, cursor: 0 }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    /// Total length of the buffer (independent of the read cursor).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The bytes not yet consumed by `get_*` calls.
+    pub fn as_unread(&self) -> &[u8] {
+        &self.data[self.cursor..]
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.cursor + n <= self.data.len(),
+            "buffer underflow: need {} bytes, have {}",
+            n,
+            self.data.len() - self.cursor
+        );
+        let slice = &self.data[self.cursor..self.cursor + n];
+        self.cursor += n;
+        slice
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes::from_vec(data)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with the given capacity reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read side: consuming primitive values from a buffer.
+///
+/// # Panics
+///
+/// All `get_*` methods panic on underflow, matching the upstream crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes and returns them.
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_bytes(1)[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let b = self.copy_bytes(2);
+        u16::from_le_bytes([b[0], b[1]])
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let b = self.copy_bytes(4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let b = self.copy_bytes(8);
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.cursor
+    }
+
+    fn copy_bytes(&mut self, n: usize) -> Vec<u8> {
+        self.take(n).to_vec()
+    }
+}
+
+/// Write side: appending primitive values to a buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_f32_le(0.25);
+        buf.put_f64_le(-1.5);
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 4 + 8);
+
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16_le(), 300);
+        assert_eq!(bytes.get_u32_le(), 70_000);
+        assert_eq!(bytes.get_u64_le(), 1 << 40);
+        assert_eq!(bytes.get_f32_le(), 0.25);
+        assert_eq!(bytes.get_f64_le(), -1.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut bytes = Bytes::from_vec(vec![1, 2]);
+        let _ = bytes.get_u32_le();
+    }
+
+    #[test]
+    fn len_counts_whole_buffer() {
+        let mut bytes = Bytes::from_vec(vec![1, 2, 3, 4]);
+        let _ = bytes.get_u8();
+        assert_eq!(bytes.len(), 4);
+        assert_eq!(bytes.remaining(), 3);
+    }
+}

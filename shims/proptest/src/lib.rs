@@ -1,0 +1,392 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! A deterministic randomized-testing harness covering the API surface the
+//! workspace's property tests use: numeric-range strategies, tuples,
+//! `prop::collection::vec`, `prop_map` / `prop_flat_map`, the `proptest!`
+//! macro and the `prop_assert*` family. No shrinking: a failing case panics
+//! with the case number, and the per-test RNG stream is seeded from the test
+//! name, so failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+
+/// Generator of random values for one test argument.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A fixed value as a (degenerate) strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A hard failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of randomized cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` randomized cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Runs `case` for each randomized iteration; panics on the first failure.
+///
+/// The RNG stream is derived from the test name (FNV-1a), so each test sees
+/// a stable, reproducible sequence independent of execution order.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..config.cases {
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest `{}` failed at case {}/{}: {}",
+                name,
+                i + 1,
+                config.cases,
+                e
+            );
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running the body over randomized cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                $crate::run_proptest(&__config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} == {:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?} != {:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, f in -1.0f32..1.0, s in 0u64..5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!(s < 5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0usize..3, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            (len, v) in (1usize..4).prop_flat_map(|n| (Just(n), prop::collection::vec(0u32..10, n..=n)))
+        ) {
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    fn identical_names_reproduce_identical_streams() {
+        let cfg = ProptestConfig::with_cases(16);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_proptest(&cfg, "stream", |rng| {
+            a.push(crate::Strategy::generate(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        crate::run_proptest(&cfg, "stream", |rng| {
+            b.push(crate::Strategy::generate(&(0u64..1_000_000), rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

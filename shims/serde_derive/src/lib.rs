@@ -1,0 +1,508 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the workspace-local
+//! serde stand-in.
+//!
+//! The build environment has no registry access, so `syn`/`quote` are not
+//! available; this macro walks the raw [`proc_macro::TokenStream`] directly
+//! and emits impl code as strings. It supports exactly the shapes the
+//! workspace contains: named structs, tuple structs (newtypes are
+//! transparent), unit structs, and enums with unit / tuple / struct
+//! variants. The only field attribute honoured is `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named field: its identifier plus whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// Shape of a struct body or an enum variant's payload.
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Body)>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, body } => serialize_struct(name, body),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, body } => deserialize_struct(name, body),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {:?}", other),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {:?}", other),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!(
+                "serde_derive: generic types are not supported (deriving on `{}`)",
+                name
+            );
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(tuple_arity(&g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!(
+                    "serde_derive: unexpected struct body for `{}`: {:?}",
+                    name, other
+                ),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(&g.stream())
+                }
+                other => panic!(
+                    "serde_derive: expected enum body for `{}`, got {:?}",
+                    name, other
+                ),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{}` items", other),
+    }
+}
+
+/// Parses `field: Type, ...` (with optional attributes / visibility per field).
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut default = false;
+        // Field attributes: `#[serde(default)]`, `#[doc = ...]`, ...
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(attr)) = tokens.get(i + 1) {
+                let text = attr.stream().to_string();
+                if text.starts_with("serde") && text.contains("default") {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {:?}", other),
+        };
+        i += 1;
+        // Skip `:` then the type, up to a comma at angle-bracket depth 0.
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body: comma-separated segments at depth 0.
+fn tuple_arity(stream: &TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0;
+    let mut seg_has_tokens = false;
+    for t in stream.clone() {
+        match &t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    seg_has_tokens = true;
+                }
+                '>' => {
+                    depth -= 1;
+                    seg_has_tokens = true;
+                }
+                ',' if depth == 0 => {
+                    if seg_has_tokens {
+                        count += 1;
+                    }
+                    seg_has_tokens = false;
+                }
+                _ => seg_has_tokens = true,
+            },
+            _ => seg_has_tokens = true,
+        }
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<(String, Body)> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Variant attributes (e.g. `#[default]` from `#[derive(Default)]`).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {:?}", other),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(tuple_arity(&g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, body));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{})", k))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{}))",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {} }}\n\
+         }}",
+        name, expr
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Body)]) -> String {
+    let mut arms = Vec::new();
+    for (vname, body) in variants {
+        let arm = match body {
+            Body::Unit => format!(
+                "{}::{} => ::serde::Value::Str({:?}.to_string()),",
+                name, vname, vname
+            ),
+            Body::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("x{}", k)).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({})", b))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{}::{}({}) => ::serde::Value::Object(vec![({:?}.to_string(), {})]),",
+                    name,
+                    vname,
+                    binds.join(", "),
+                    vname,
+                    inner
+                )
+            }
+            Body::Named(fields) => {
+                let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                            f.name, f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{}::{} {{ {} }} => ::serde::Value::Object(vec![({:?}.to_string(), \
+                     ::serde::Value::Object(vec![{}]))]),",
+                    name,
+                    vname,
+                    binds.join(", "),
+                    vname,
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         match self {{\n{}\n}}\n\
+         }}\n\
+         }}",
+        name,
+        arms.join("\n")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn named_field_exprs(type_label: &str, fields: &[Field], source: &str) -> Vec<String> {
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(::serde::Error::msg(format!(\"missing field `{}` in {}\")))",
+                    f.name, type_label
+                )
+            };
+            format!(
+                "{}: match {}.get_field({:?}) {{ Some(x) => ::serde::Deserialize::from_value(x)?, None => {} }},",
+                f.name, source, f.name, missing
+            )
+        })
+        .collect()
+}
+
+fn deserialize_struct(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::Unit => format!("let _ = v; Ok({})", name),
+        Body::Tuple(1) => format!("Ok({}(::serde::Deserialize::from_value(v)?))", name),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&items[{}])?", k))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({items})),\n\
+                 other => Err(::serde::Error::msg(format!(\"expected array of {n} for {name}, got {{}}\", other.kind()))),\n\
+                 }}",
+                n = n,
+                name = name,
+                items = items.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let items = named_field_exprs(name, fields, "v");
+            format!(
+                "if !matches!(v, ::serde::Value::Object(_)) {{\n\
+                 return Err(::serde::Error::msg(format!(\"expected object for {}, got {{}}\", v.kind())));\n\
+                 }}\n\
+                 Ok({} {{\n{}\n}})",
+                name,
+                name,
+                items.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {}\n\
+         }}\n\
+         }}",
+        name, body_code
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Body)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for (vname, body) in variants {
+        match body {
+            Body::Unit => {
+                unit_arms.push(format!("{:?} => Ok({}::{}),", vname, name, vname));
+            }
+            Body::Tuple(1) => {
+                data_arms.push(format!(
+                    "{:?} => Ok({}::{}(::serde::Deserialize::from_value(inner)?)),",
+                    vname, name, vname
+                ));
+            }
+            Body::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{}])?", k))
+                    .collect();
+                data_arms.push(format!(
+                    "{vq:?} => match inner {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => Ok({name}::{v}({items})),\n\
+                     other => Err(::serde::Error::msg(format!(\"expected array of {n} for {name}::{v}, got {{}}\", other.kind()))),\n\
+                     }},",
+                    vq = vname,
+                    n = n,
+                    name = name,
+                    v = vname,
+                    items = items.join(", ")
+                ));
+            }
+            Body::Named(fields) => {
+                let label = format!("{}::{}", name, vname);
+                let items = named_field_exprs(&label, fields, "inner");
+                data_arms.push(format!(
+                    "{:?} => Ok({}::{} {{\n{}\n}}),",
+                    vname,
+                    name,
+                    vname,
+                    items.join("\n")
+                ));
+            }
+        }
+    }
+    let inner_bind = if data_arms.is_empty() {
+        "_inner"
+    } else {
+        "inner"
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\n\
+         other => Err(::serde::Error::msg(format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+         }},\n\
+         ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+         let (tag, {inner_bind}) = &fields[0];\n\
+         match tag.as_str() {{\n\
+         {data_arms}\n\
+         other => Err(::serde::Error::msg(format!(\"unknown variant `{{}}` for {name}\", other))),\n\
+         }}\n\
+         }}\n\
+         other => Err(::serde::Error::msg(format!(\"expected variant encoding for {name}, got {{}}\", other.kind()))),\n\
+         }}\n\
+         }}\n\
+         }}",
+        name = name,
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n"),
+        inner_bind = inner_bind
+    )
+}

@@ -13,16 +13,29 @@ use spatio_temporal_split_learning::split::{
 };
 
 fn data(n: usize, seed: u64) -> spatio_temporal_split_learning::data::ImageDataset {
-    SyntheticCifar::new(seed).difficulty(0.08).generate_sized(n, 16)
+    SyntheticCifar::new(seed)
+        .difficulty(0.08)
+        .generate_sized(n, 16)
 }
 
 #[test]
 fn ushaped_and_standard_protocols_reach_similar_accuracy() {
     let train = data(160, 1);
     let test = data(40, 2);
-    let cfg = || SplitConfig::tiny(CutPoint(1), 2).epochs(3).seed(3).learning_rate(0.01);
-    let std_acc = SpatioTemporalTrainer::new(cfg(), &train).unwrap().train(&test).final_accuracy;
-    let u_acc = UShapedTrainer::new(cfg(), &train).unwrap().train(&test).final_accuracy;
+    let cfg = || {
+        SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(3)
+            .seed(3)
+            .learning_rate(0.01)
+    };
+    let std_acc = SpatioTemporalTrainer::new(cfg(), &train)
+        .unwrap()
+        .train(&test)
+        .final_accuracy;
+    let u_acc = UShapedTrainer::new(cfg(), &train)
+        .unwrap()
+        .train(&test)
+        .final_accuracy;
     // Same architecture, same data: neither protocol should be wildly
     // better. Allow generous slack — both are short runs.
     assert!(
@@ -37,7 +50,12 @@ fn ushaped_and_standard_protocols_reach_similar_accuracy() {
 fn ushaped_sends_no_labels_but_more_messages() {
     let train = data(64, 4);
     let test = data(16, 5);
-    let cfg = || SplitConfig::tiny(CutPoint(1), 1).epochs(1).batch_size(16).seed(6);
+    let cfg = || {
+        SplitConfig::tiny(CutPoint(1), 1)
+            .epochs(1)
+            .batch_size(16)
+            .seed(6)
+    };
     let mut std_t = SpatioTemporalTrainer::new(cfg(), &train).unwrap();
     let rs = std_t.train(&test);
     let mut u_t = UShapedTrainer::new(cfg(), &train).unwrap();
@@ -56,7 +74,10 @@ fn noise_defense_reduces_leakage_and_costs_accuracy() {
     let aux = data(600, 9);
     let victims = data(24, 10);
     let run = |sigma: f32| {
-        let cfg = SplitConfig::tiny(CutPoint(1), 1).epochs(2).seed(11).smash_noise(sigma);
+        let cfg = SplitConfig::tiny(CutPoint(1), 1)
+            .epochs(2)
+            .seed(11)
+            .smash_noise(sigma);
         let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
         let report = t.train(&test);
         let client = t.clients_mut().first_mut().unwrap();
@@ -93,7 +114,11 @@ fn partial_participation_trains_fewer_batches_but_still_learns() {
     let served: u64 = t.server_mut().served_per_client().iter().sum();
     // Full participation would serve 3 clients × ceil(40/16)=3 batches × 4
     // epochs = 36 batches.
-    assert!(served < 36, "some epochs must be skipped, served {}", served);
+    assert!(
+        served < 36,
+        "some epochs must be skipped, served {}",
+        served
+    );
     assert!(report.final_accuracy > 0.05);
 }
 
