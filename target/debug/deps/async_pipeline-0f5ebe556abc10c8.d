@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_pipeline-0f5ebe556abc10c8.d: tests/async_pipeline.rs
+
+/root/repo/target/debug/deps/async_pipeline-0f5ebe556abc10c8: tests/async_pipeline.rs
+
+tests/async_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_pipeline-f421db50cf2e0353.d: tests/async_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_pipeline-f421db50cf2e0353.rmeta: tests/async_pipeline.rs Cargo.toml
+
+tests/async_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

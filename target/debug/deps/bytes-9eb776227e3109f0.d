@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-9eb776227e3109f0.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-9eb776227e3109f0: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

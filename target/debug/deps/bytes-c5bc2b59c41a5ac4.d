@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-c5bc2b59c41a5ac4.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-c5bc2b59c41a5ac4.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-c9a63f3b8aae2a25.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c9a63f3b8aae2a25.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-c9a63f3b8aae2a25.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-d1a3dfaa0be20407.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-d1a3dfaa0be20407.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

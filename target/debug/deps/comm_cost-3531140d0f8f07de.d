@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_cost-3531140d0f8f07de.d: crates/bench/src/bin/comm_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_cost-3531140d0f8f07de.rmeta: crates/bench/src/bin/comm_cost.rs Cargo.toml
+
+crates/bench/src/bin/comm_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

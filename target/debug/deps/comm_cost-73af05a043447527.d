@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_cost-73af05a043447527.d: crates/bench/src/bin/comm_cost.rs
+
+/root/repo/target/debug/deps/comm_cost-73af05a043447527: crates/bench/src/bin/comm_cost.rs
+
+crates/bench/src/bin/comm_cost.rs:

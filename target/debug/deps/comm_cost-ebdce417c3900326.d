@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/comm_cost-ebdce417c3900326.d: crates/bench/src/bin/comm_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomm_cost-ebdce417c3900326.rmeta: crates/bench/src/bin/comm_cost.rs Cargo.toml
+
+crates/bench/src/bin/comm_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

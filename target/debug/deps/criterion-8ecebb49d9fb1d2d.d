@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-8ecebb49d9fb1d2d.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-8ecebb49d9fb1d2d.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

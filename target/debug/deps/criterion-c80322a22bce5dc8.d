@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-c80322a22bce5dc8.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c80322a22bce5dc8.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c80322a22bce5dc8.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

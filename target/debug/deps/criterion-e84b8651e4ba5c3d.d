@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-e84b8651e4ba5c3d.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-e84b8651e4ba5c3d: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-49e584bd94504916.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-49e584bd94504916: tests/end_to_end.rs
+
+tests/end_to_end.rs:

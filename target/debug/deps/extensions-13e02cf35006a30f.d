@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-13e02cf35006a30f.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-13e02cf35006a30f.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-cb8811f447ef3b74.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-cb8811f447ef3b74: tests/extensions.rs
+
+tests/extensions.rs:

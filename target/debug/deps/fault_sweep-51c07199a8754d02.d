@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sweep-51c07199a8754d02.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/debug/deps/fault_sweep-51c07199a8754d02: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sweep-cd3f0622095683c4.d: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sweep-cd3f0622095683c4.rmeta: crates/bench/src/bin/fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

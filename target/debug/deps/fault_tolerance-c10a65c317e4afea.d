@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-c10a65c317e4afea.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-c10a65c317e4afea: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_tolerance-c1e3f9a0580ea5cc.d: tests/fault_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_tolerance-c1e3f9a0580ea5cc.rmeta: tests/fault_tolerance.rs Cargo.toml
+
+tests/fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

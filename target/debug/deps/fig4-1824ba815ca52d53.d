@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-1824ba815ca52d53.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-1824ba815ca52d53: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-c169852b0d2ce4de.d: crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-c169852b0d2ce4de.rmeta: crates/bench/benches/kernels.rs Cargo.toml
+
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakage_sweep-8debcffc575ac788.d: crates/bench/src/bin/leakage_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakage_sweep-8debcffc575ac788.rmeta: crates/bench/src/bin/leakage_sweep.rs Cargo.toml
+
+crates/bench/src/bin/leakage_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/leakage_sweep-9da0bb5155606068.d: crates/bench/src/bin/leakage_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libleakage_sweep-9da0bb5155606068.rmeta: crates/bench/src/bin/leakage_sweep.rs Cargo.toml
+
+crates/bench/src/bin/leakage_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

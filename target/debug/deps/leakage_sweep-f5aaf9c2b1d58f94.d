@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/leakage_sweep-f5aaf9c2b1d58f94.d: crates/bench/src/bin/leakage_sweep.rs
+
+/root/repo/target/debug/deps/leakage_sweep-f5aaf9c2b1d58f94: crates/bench/src/bin/leakage_sweep.rs
+
+crates/bench/src/bin/leakage_sweep.rs:

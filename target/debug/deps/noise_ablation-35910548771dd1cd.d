@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_ablation-35910548771dd1cd.d: crates/bench/src/bin/noise_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_ablation-35910548771dd1cd.rmeta: crates/bench/src/bin/noise_ablation.rs Cargo.toml
+
+crates/bench/src/bin/noise_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noise_ablation-655a0d2ae2181a5b.d: crates/bench/src/bin/noise_ablation.rs
+
+/root/repo/target/debug/deps/noise_ablation-655a0d2ae2181a5b: crates/bench/src/bin/noise_ablation.rs
+
+crates/bench/src/bin/noise_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noise_ablation-dd20cce4e32690cf.d: crates/bench/src/bin/noise_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoise_ablation-dd20cce4e32690cf.rmeta: crates/bench/src/bin/noise_ablation.rs Cargo.toml
+
+crates/bench/src/bin/noise_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_ablation-3058c49533431ab8.d: crates/bench/src/bin/pool_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_ablation-3058c49533431ab8.rmeta: crates/bench/src/bin/pool_ablation.rs Cargo.toml
+
+crates/bench/src/bin/pool_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_ablation-69c07396fa064ee4.d: crates/bench/src/bin/pool_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_ablation-69c07396fa064ee4.rmeta: crates/bench/src/bin/pool_ablation.rs Cargo.toml
+
+crates/bench/src/bin/pool_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

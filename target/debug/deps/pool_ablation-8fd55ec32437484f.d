@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_ablation-8fd55ec32437484f.d: crates/bench/src/bin/pool_ablation.rs
+
+/root/repo/target/debug/deps/pool_ablation-8fd55ec32437484f: crates/bench/src/bin/pool_ablation.rs
+
+crates/bench/src/bin/pool_ablation.rs:

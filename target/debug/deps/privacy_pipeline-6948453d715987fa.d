@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/privacy_pipeline-6948453d715987fa.d: tests/privacy_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprivacy_pipeline-6948453d715987fa.rmeta: tests/privacy_pipeline.rs Cargo.toml
+
+tests/privacy_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/privacy_pipeline-d19a8716b7f47466.d: tests/privacy_pipeline.rs
+
+/root/repo/target/debug/deps/privacy_pipeline-d19a8716b7f47466: tests/privacy_pipeline.rs
+
+tests/privacy_pipeline.rs:

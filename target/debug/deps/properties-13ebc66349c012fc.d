@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-13ebc66349c012fc.d: crates/tensor/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-13ebc66349c012fc.rmeta: crates/tensor/tests/properties.rs Cargo.toml
+
+crates/tensor/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

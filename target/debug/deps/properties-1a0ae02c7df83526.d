@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-1a0ae02c7df83526.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-1a0ae02c7df83526.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c27155f901d1d52e.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c27155f901d1d52e: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

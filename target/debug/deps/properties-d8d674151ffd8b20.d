@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d8d674151ffd8b20.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d8d674151ffd8b20: tests/properties.rs
+
+tests/properties.rs:

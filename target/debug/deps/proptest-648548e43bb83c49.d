@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-648548e43bb83c49.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-648548e43bb83c49.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-648548e43bb83c49.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e32fa933cea77d86.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e32fa933cea77d86: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_sweep-56cb288865913fde.d: crates/bench/src/bin/queue_sweep.rs
+
+/root/repo/target/debug/deps/queue_sweep-56cb288865913fde: crates/bench/src/bin/queue_sweep.rs
+
+crates/bench/src/bin/queue_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_sweep-b3e5be02fc605d5c.d: crates/bench/src/bin/queue_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_sweep-b3e5be02fc605d5c.rmeta: crates/bench/src/bin/queue_sweep.rs Cargo.toml
+
+crates/bench/src/bin/queue_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

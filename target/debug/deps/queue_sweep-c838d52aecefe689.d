@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_sweep-c838d52aecefe689.d: crates/bench/src/bin/queue_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_sweep-c838d52aecefe689.rmeta: crates/bench/src/bin/queue_sweep.rs Cargo.toml
+
+crates/bench/src/bin/queue_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

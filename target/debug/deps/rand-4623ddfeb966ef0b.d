@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-4623ddfeb966ef0b.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4623ddfeb966ef0b.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4623ddfeb966ef0b.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

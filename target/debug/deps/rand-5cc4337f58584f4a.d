@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5cc4337f58584f4a.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5cc4337f58584f4a: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scale_sweep-2ee4cce129a01212.d: crates/bench/src/bin/scale_sweep.rs
+
+/root/repo/target/debug/deps/scale_sweep-2ee4cce129a01212: crates/bench/src/bin/scale_sweep.rs
+
+crates/bench/src/bin/scale_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_sweep-4c3fd668213126cd.d: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_sweep-4c3fd668213126cd.rmeta: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+crates/bench/src/bin/scale_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scale_sweep-caee4ba8d2dfd4d0.d: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscale_sweep-caee4ba8d2dfd4d0.rmeta: crates/bench/src/bin/scale_sweep.rs Cargo.toml
+
+crates/bench/src/bin/scale_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler-ae5d0b0182c916e5.d: crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-ae5d0b0182c916e5.rmeta: crates/bench/benches/scheduler.rs Cargo.toml
+
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

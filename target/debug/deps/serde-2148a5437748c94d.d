@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2148a5437748c94d.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-2148a5437748c94d: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-92d21cad3edc6d49.d: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-92d21cad3edc6d49.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-92d21cad3edc6d49.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-d39ea5cbe253775e.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-d39ea5cbe253775e: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-3c96867cc718f5d4.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3c96867cc718f5d4.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-3c96867cc718f5d4.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

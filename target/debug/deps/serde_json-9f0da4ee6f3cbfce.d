@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-9f0da4ee6f3cbfce.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-9f0da4ee6f3cbfce.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

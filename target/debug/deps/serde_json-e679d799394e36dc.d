@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-e679d799394e36dc.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-e679d799394e36dc.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

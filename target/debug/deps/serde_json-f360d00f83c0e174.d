@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f360d00f83c0e174.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-f360d00f83c0e174: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

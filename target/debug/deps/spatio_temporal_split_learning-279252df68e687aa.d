@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spatio_temporal_split_learning-279252df68e687aa.d: src/lib.rs
+
+/root/repo/target/debug/deps/spatio_temporal_split_learning-279252df68e687aa: src/lib.rs
+
+src/lib.rs:

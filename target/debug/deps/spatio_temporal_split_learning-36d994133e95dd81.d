@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spatio_temporal_split_learning-36d994133e95dd81.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspatio_temporal_split_learning-36d994133e95dd81.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/spatio_temporal_split_learning-88d91c53e6ec77a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libspatio_temporal_split_learning-88d91c53e6ec77a7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libspatio_temporal_split_learning-88d91c53e6ec77a7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spatio_temporal_split_learning-a5267c52ac8fdca7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspatio_temporal_split_learning-a5267c52ac8fdca7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/split_equivalence-0fa48ea99146899c.d: tests/split_equivalence.rs
+
+/root/repo/target/debug/deps/split_equivalence-0fa48ea99146899c: tests/split_equivalence.rs
+
+tests/split_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/split_equivalence-c1bea7047ba31d3c.d: tests/split_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsplit_equivalence-c1bea7047ba31d3c.rmeta: tests/split_equivalence.rs Cargo.toml
+
+tests/split_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

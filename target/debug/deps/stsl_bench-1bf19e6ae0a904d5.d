@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stsl_bench-1bf19e6ae0a904d5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/stsl_bench-1bf19e6ae0a904d5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

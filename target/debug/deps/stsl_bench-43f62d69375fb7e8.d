@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stsl_bench-43f62d69375fb7e8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_bench-43f62d69375fb7e8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/stsl_bench-676d12f609d7c515.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstsl_bench-676d12f609d7c515.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libstsl_bench-676d12f609d7c515.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stsl_bench-b44f8b863ed3d57d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_bench-b44f8b863ed3d57d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

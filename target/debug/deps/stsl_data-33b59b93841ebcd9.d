@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/stsl_data-33b59b93841ebcd9.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libstsl_data-33b59b93841ebcd9.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libstsl_data-33b59b93841ebcd9.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batching.rs:
+crates/data/src/cifar.rs:
+crates/data/src/dataset.rs:
+crates/data/src/kfold.rs:
+crates/data/src/partition.rs:
+crates/data/src/synthetic.rs:

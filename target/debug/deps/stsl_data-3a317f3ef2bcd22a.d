@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/stsl_data-3a317f3ef2bcd22a.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_data-3a317f3ef2bcd22a.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batching.rs:
+crates/data/src/cifar.rs:
+crates/data/src/dataset.rs:
+crates/data/src/kfold.rs:
+crates/data/src/partition.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/stsl_data-d6dd7e60ef7f85a0.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/stsl_data-d6dd7e60ef7f85a0: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batching.rs:
+crates/data/src/cifar.rs:
+crates/data/src/dataset.rs:
+crates/data/src/kfold.rs:
+crates/data/src/partition.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/stsl_data-f7b33d6fc263e943.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_data-f7b33d6fc263e943.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batching.rs:
+crates/data/src/cifar.rs:
+crates/data/src/dataset.rs:
+crates/data/src/kfold.rs:
+crates/data/src/partition.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

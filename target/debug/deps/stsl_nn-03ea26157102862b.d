@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/stsl_nn-03ea26157102862b.d: crates/nn/src/lib.rs crates/nn/src/clip.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool2d.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/maxpool2d.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_nn-03ea26157102862b.rmeta: crates/nn/src/lib.rs crates/nn/src/clip.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool2d.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/maxpool2d.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/summary.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/clip.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/avgpool2d.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/maxpool2d.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/stsl_nn-c1d92071973c8b9c.d: crates/nn/src/lib.rs crates/nn/src/clip.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool2d.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/maxpool2d.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_nn-c1d92071973c8b9c.rmeta: crates/nn/src/lib.rs crates/nn/src/clip.rs crates/nn/src/gradcheck.rs crates/nn/src/layer.rs crates/nn/src/layers/mod.rs crates/nn/src/layers/activation.rs crates/nn/src/layers/avgpool2d.rs crates/nn/src/layers/batchnorm.rs crates/nn/src/layers/conv2d.rs crates/nn/src/layers/dense.rs crates/nn/src/layers/maxpool2d.rs crates/nn/src/loss.rs crates/nn/src/metrics.rs crates/nn/src/model.rs crates/nn/src/optim.rs crates/nn/src/summary.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/clip.rs:
+crates/nn/src/gradcheck.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/layers/mod.rs:
+crates/nn/src/layers/activation.rs:
+crates/nn/src/layers/avgpool2d.rs:
+crates/nn/src/layers/batchnorm.rs:
+crates/nn/src/layers/conv2d.rs:
+crates/nn/src/layers/dense.rs:
+crates/nn/src/layers/maxpool2d.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/metrics.rs:
+crates/nn/src/model.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

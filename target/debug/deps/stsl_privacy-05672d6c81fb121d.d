@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stsl_privacy-05672d6c81fb121d.d: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_privacy-05672d6c81fb121d.rmeta: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs Cargo.toml
+
+crates/privacy/src/lib.rs:
+crates/privacy/src/image.rs:
+crates/privacy/src/inversion.rs:
+crates/privacy/src/metrics.rs:
+crates/privacy/src/visualize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stsl_privacy-805d35296dce6a31.d: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+/root/repo/target/debug/deps/stsl_privacy-805d35296dce6a31: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+crates/privacy/src/lib.rs:
+crates/privacy/src/image.rs:
+crates/privacy/src/inversion.rs:
+crates/privacy/src/metrics.rs:
+crates/privacy/src/visualize.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/stsl_privacy-8a9b4afe7acfb682.d: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+/root/repo/target/debug/deps/libstsl_privacy-8a9b4afe7acfb682.rlib: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+/root/repo/target/debug/deps/libstsl_privacy-8a9b4afe7acfb682.rmeta: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+crates/privacy/src/lib.rs:
+crates/privacy/src/image.rs:
+crates/privacy/src/inversion.rs:
+crates/privacy/src/metrics.rs:
+crates/privacy/src/visualize.rs:

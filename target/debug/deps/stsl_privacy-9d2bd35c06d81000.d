@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stsl_privacy-9d2bd35c06d81000.d: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_privacy-9d2bd35c06d81000.rmeta: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs Cargo.toml
+
+crates/privacy/src/lib.rs:
+crates/privacy/src/image.rs:
+crates/privacy/src/inversion.rs:
+crates/privacy/src/metrics.rs:
+crates/privacy/src/visualize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/stsl_simnet-003891bde48e2364.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libstsl_simnet-003891bde48e2364.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libstsl_simnet-003891bde48e2364.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:

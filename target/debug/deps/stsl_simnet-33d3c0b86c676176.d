@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/stsl_simnet-33d3c0b86c676176.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_simnet-33d3c0b86c676176.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/stsl_simnet-a2b3250fab4853d7.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/stsl_simnet-a2b3250fab4853d7: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/stsl_split-168b2fefa4880b71.d: crates/split/src/lib.rs crates/split/src/async_trainer.rs crates/split/src/baselines.rs crates/split/src/checkpoint.rs crates/split/src/client.rs crates/split/src/config.rs crates/split/src/model.rs crates/split/src/protocol.rs crates/split/src/report.rs crates/split/src/resilience.rs crates/split/src/scheduler.rs crates/split/src/server.rs crates/split/src/trainer.rs crates/split/src/ushaped.rs
+
+/root/repo/target/debug/deps/libstsl_split-168b2fefa4880b71.rlib: crates/split/src/lib.rs crates/split/src/async_trainer.rs crates/split/src/baselines.rs crates/split/src/checkpoint.rs crates/split/src/client.rs crates/split/src/config.rs crates/split/src/model.rs crates/split/src/protocol.rs crates/split/src/report.rs crates/split/src/resilience.rs crates/split/src/scheduler.rs crates/split/src/server.rs crates/split/src/trainer.rs crates/split/src/ushaped.rs
+
+/root/repo/target/debug/deps/libstsl_split-168b2fefa4880b71.rmeta: crates/split/src/lib.rs crates/split/src/async_trainer.rs crates/split/src/baselines.rs crates/split/src/checkpoint.rs crates/split/src/client.rs crates/split/src/config.rs crates/split/src/model.rs crates/split/src/protocol.rs crates/split/src/report.rs crates/split/src/resilience.rs crates/split/src/scheduler.rs crates/split/src/server.rs crates/split/src/trainer.rs crates/split/src/ushaped.rs
+
+crates/split/src/lib.rs:
+crates/split/src/async_trainer.rs:
+crates/split/src/baselines.rs:
+crates/split/src/checkpoint.rs:
+crates/split/src/client.rs:
+crates/split/src/config.rs:
+crates/split/src/model.rs:
+crates/split/src/protocol.rs:
+crates/split/src/report.rs:
+crates/split/src/resilience.rs:
+crates/split/src/scheduler.rs:
+crates/split/src/server.rs:
+crates/split/src/trainer.rs:
+crates/split/src/ushaped.rs:

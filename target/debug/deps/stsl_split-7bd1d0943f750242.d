@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/stsl_split-7bd1d0943f750242.d: crates/split/src/lib.rs crates/split/src/async_trainer.rs crates/split/src/baselines.rs crates/split/src/checkpoint.rs crates/split/src/client.rs crates/split/src/config.rs crates/split/src/model.rs crates/split/src/protocol.rs crates/split/src/report.rs crates/split/src/resilience.rs crates/split/src/scheduler.rs crates/split/src/server.rs crates/split/src/trainer.rs crates/split/src/ushaped.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_split-7bd1d0943f750242.rmeta: crates/split/src/lib.rs crates/split/src/async_trainer.rs crates/split/src/baselines.rs crates/split/src/checkpoint.rs crates/split/src/client.rs crates/split/src/config.rs crates/split/src/model.rs crates/split/src/protocol.rs crates/split/src/report.rs crates/split/src/resilience.rs crates/split/src/scheduler.rs crates/split/src/server.rs crates/split/src/trainer.rs crates/split/src/ushaped.rs Cargo.toml
+
+crates/split/src/lib.rs:
+crates/split/src/async_trainer.rs:
+crates/split/src/baselines.rs:
+crates/split/src/checkpoint.rs:
+crates/split/src/client.rs:
+crates/split/src/config.rs:
+crates/split/src/model.rs:
+crates/split/src/protocol.rs:
+crates/split/src/report.rs:
+crates/split/src/resilience.rs:
+crates/split/src/scheduler.rs:
+crates/split/src/server.rs:
+crates/split/src/trainer.rs:
+crates/split/src/ushaped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

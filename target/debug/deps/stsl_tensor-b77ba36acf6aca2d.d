@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/stsl_tensor-b77ba36acf6aca2d.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstsl_tensor-b77ba36acf6aca2d.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

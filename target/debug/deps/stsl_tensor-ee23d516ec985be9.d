@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/stsl_tensor-ee23d516ec985be9.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/stsl_tensor-ee23d516ec985be9: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ushaped_compare-6c58f075fa08dbbf.d: crates/bench/src/bin/ushaped_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libushaped_compare-6c58f075fa08dbbf.rmeta: crates/bench/src/bin/ushaped_compare.rs Cargo.toml
+
+crates/bench/src/bin/ushaped_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

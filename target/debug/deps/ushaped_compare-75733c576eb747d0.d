@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ushaped_compare-75733c576eb747d0.d: crates/bench/src/bin/ushaped_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libushaped_compare-75733c576eb747d0.rmeta: crates/bench/src/bin/ushaped_compare.rs Cargo.toml
+
+crates/bench/src/bin/ushaped_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

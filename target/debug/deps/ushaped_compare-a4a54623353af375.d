@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ushaped_compare-a4a54623353af375.d: crates/bench/src/bin/ushaped_compare.rs
+
+/root/repo/target/debug/deps/ushaped_compare-a4a54623353af375: crates/bench/src/bin/ushaped_compare.rs
+
+crates/bench/src/bin/ushaped_compare.rs:

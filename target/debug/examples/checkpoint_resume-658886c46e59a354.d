@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/checkpoint_resume-658886c46e59a354.d: examples/checkpoint_resume.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcheckpoint_resume-658886c46e59a354.rmeta: examples/checkpoint_resume.rs Cargo.toml
+
+examples/checkpoint_resume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

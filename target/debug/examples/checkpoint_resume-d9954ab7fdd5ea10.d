@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_resume-d9954ab7fdd5ea10.d: examples/checkpoint_resume.rs
+
+/root/repo/target/debug/examples/checkpoint_resume-d9954ab7fdd5ea10: examples/checkpoint_resume.rs
+
+examples/checkpoint_resume.rs:

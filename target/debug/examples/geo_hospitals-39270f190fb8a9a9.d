@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/geo_hospitals-39270f190fb8a9a9.d: examples/geo_hospitals.rs
+
+/root/repo/target/debug/examples/geo_hospitals-39270f190fb8a9a9: examples/geo_hospitals.rs
+
+examples/geo_hospitals.rs:

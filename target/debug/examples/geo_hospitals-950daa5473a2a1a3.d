@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/geo_hospitals-950daa5473a2a1a3.d: examples/geo_hospitals.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgeo_hospitals-950daa5473a2a1a3.rmeta: examples/geo_hospitals.rs Cargo.toml
+
+examples/geo_hospitals.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

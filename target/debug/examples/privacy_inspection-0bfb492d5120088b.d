@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/privacy_inspection-0bfb492d5120088b.d: examples/privacy_inspection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivacy_inspection-0bfb492d5120088b.rmeta: examples/privacy_inspection.rs Cargo.toml
+
+examples/privacy_inspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

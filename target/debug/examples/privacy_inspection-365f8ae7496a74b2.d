@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_inspection-365f8ae7496a74b2.d: examples/privacy_inspection.rs
+
+/root/repo/target/debug/examples/privacy_inspection-365f8ae7496a74b2: examples/privacy_inspection.rs
+
+examples/privacy_inspection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-de30a2a71162565b.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-de30a2a71162565b.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e4bab3b70b9508ca.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e4bab3b70b9508ca: examples/quickstart.rs
+
+examples/quickstart.rs:

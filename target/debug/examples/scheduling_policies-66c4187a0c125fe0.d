@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduling_policies-66c4187a0c125fe0.d: examples/scheduling_policies.rs
+
+/root/repo/target/debug/examples/scheduling_policies-66c4187a0c125fe0: examples/scheduling_policies.rs
+
+examples/scheduling_policies.rs:

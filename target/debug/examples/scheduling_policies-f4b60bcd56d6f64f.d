@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduling_policies-f4b60bcd56d6f64f.d: examples/scheduling_policies.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduling_policies-f4b60bcd56d6f64f.rmeta: examples/scheduling_policies.rs Cargo.toml
+
+examples/scheduling_policies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

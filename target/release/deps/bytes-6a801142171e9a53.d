@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-6a801142171e9a53.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6a801142171e9a53.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-6a801142171e9a53.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sweep-73f022a2d91ffdaf.d: crates/bench/src/bin/fault_sweep.rs
+
+/root/repo/target/release/deps/fault_sweep-73f022a2d91ffdaf: crates/bench/src/bin/fault_sweep.rs
+
+crates/bench/src/bin/fault_sweep.rs:

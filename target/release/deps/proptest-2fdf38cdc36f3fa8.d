@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2fdf38cdc36f3fa8.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2fdf38cdc36f3fa8.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2fdf38cdc36f3fa8.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

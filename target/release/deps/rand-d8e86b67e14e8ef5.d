@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d8e86b67e14e8ef5.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d8e86b67e14e8ef5.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d8e86b67e14e8ef5.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

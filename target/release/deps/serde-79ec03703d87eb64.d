@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-79ec03703d87eb64.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-79ec03703d87eb64.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-79ec03703d87eb64.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

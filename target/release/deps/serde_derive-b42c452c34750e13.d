@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-b42c452c34750e13.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-b42c452c34750e13.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

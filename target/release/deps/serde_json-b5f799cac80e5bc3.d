@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-b5f799cac80e5bc3.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b5f799cac80e5bc3.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-b5f799cac80e5bc3.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/spatio_temporal_split_learning-0c30f4b1f8918f8d.d: src/lib.rs
+
+/root/repo/target/release/deps/libspatio_temporal_split_learning-0c30f4b1f8918f8d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libspatio_temporal_split_learning-0c30f4b1f8918f8d.rmeta: src/lib.rs
+
+src/lib.rs:

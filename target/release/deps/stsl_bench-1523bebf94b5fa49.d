@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/stsl_bench-1523bebf94b5fa49.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstsl_bench-1523bebf94b5fa49.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libstsl_bench-1523bebf94b5fa49.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

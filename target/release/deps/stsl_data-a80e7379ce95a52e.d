@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/stsl_data-a80e7379ce95a52e.d: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libstsl_data-a80e7379ce95a52e.rlib: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libstsl_data-a80e7379ce95a52e.rmeta: crates/data/src/lib.rs crates/data/src/augment.rs crates/data/src/batching.rs crates/data/src/cifar.rs crates/data/src/dataset.rs crates/data/src/kfold.rs crates/data/src/partition.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/augment.rs:
+crates/data/src/batching.rs:
+crates/data/src/cifar.rs:
+crates/data/src/dataset.rs:
+crates/data/src/kfold.rs:
+crates/data/src/partition.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/stsl_privacy-89941ab28be7983d.d: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+/root/repo/target/release/deps/libstsl_privacy-89941ab28be7983d.rlib: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+/root/repo/target/release/deps/libstsl_privacy-89941ab28be7983d.rmeta: crates/privacy/src/lib.rs crates/privacy/src/image.rs crates/privacy/src/inversion.rs crates/privacy/src/metrics.rs crates/privacy/src/visualize.rs
+
+crates/privacy/src/lib.rs:
+crates/privacy/src/image.rs:
+crates/privacy/src/inversion.rs:
+crates/privacy/src/metrics.rs:
+crates/privacy/src/visualize.rs:

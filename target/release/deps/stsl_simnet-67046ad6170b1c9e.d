@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/stsl_simnet-67046ad6170b1c9e.d: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libstsl_simnet-67046ad6170b1c9e.rlib: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libstsl_simnet-67046ad6170b1c9e.rmeta: crates/simnet/src/lib.rs crates/simnet/src/event.rs crates/simnet/src/fault.rs crates/simnet/src/link.rs crates/simnet/src/network.rs crates/simnet/src/stats.rs crates/simnet/src/time.rs crates/simnet/src/topology.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/fault.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/network.rs:
+crates/simnet/src/stats.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/topology.rs:
+crates/simnet/src/trace.rs:

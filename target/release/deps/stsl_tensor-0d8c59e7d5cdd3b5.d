@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/stsl_tensor-0d8c59e7d5cdd3b5.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libstsl_tensor-0d8c59e7d5cdd3b5.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libstsl_tensor-0d8c59e7d5cdd3b5.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/init.rs crates/tensor/src/ops/mod.rs crates/tensor/src/ops/conv.rs crates/tensor/src/ops/elementwise.rs crates/tensor/src/ops/matmul.rs crates/tensor/src/ops/pool.rs crates/tensor/src/ops/reduce.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/init.rs:
+crates/tensor/src/ops/mod.rs:
+crates/tensor/src/ops/conv.rs:
+crates/tensor/src/ops/elementwise.rs:
+crates/tensor/src/ops/matmul.rs:
+crates/tensor/src/ops/pool.rs:
+crates/tensor/src/ops/reduce.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

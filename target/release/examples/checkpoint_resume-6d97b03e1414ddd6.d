@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/checkpoint_resume-6d97b03e1414ddd6.d: examples/checkpoint_resume.rs
+
+/root/repo/target/release/examples/checkpoint_resume-6d97b03e1414ddd6: examples/checkpoint_resume.rs
+
+examples/checkpoint_resume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-7af77e9c2cc56478.d: crates/split/examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-7af77e9c2cc56478: crates/split/examples/probe_tmp.rs
+
+crates/split/examples/probe_tmp.rs:
