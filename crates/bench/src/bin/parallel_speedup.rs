@@ -1,0 +1,142 @@
+//! **E8** — serial/parallel speedup of the `stsl-parallel` thread pool.
+//!
+//! Times the row-blocked GEMM kernels and one synchronous split-learning
+//! epoch at increasing thread counts and reports wall-clock medians plus
+//! the speedup over the exact serial path (`threads = 1`). Because every
+//! parallel kernel is bitwise-deterministic, the runs at different thread
+//! counts compute identical results — the only thing that may change is
+//! time.
+//!
+//! Numbers are honest: `hardware_threads` records what the machine
+//! actually offers, and on a single-core host the speedups will sit near
+//! (or below) 1.0 — the scoped pool then only adds thread start/join
+//! overhead. Interpret `speedup` relative to that context.
+//!
+//! ```text
+//! cargo run -p stsl-bench --release --bin parallel_speedup
+//! cargo run -p stsl-bench --release --bin parallel_speedup -- --quick
+//! ```
+
+use serde::Serialize;
+use std::time::Instant;
+use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_parallel::with_threads;
+use stsl_split::{CutPoint, SpatioTemporalTrainer, SplitConfig};
+use stsl_tensor::init::rng_from_seed;
+use stsl_tensor::ops::matmul::{gemm, gemm_at_b};
+use stsl_tensor::Tensor;
+
+#[derive(Serialize)]
+struct Timing {
+    workload: String,
+    threads: usize,
+    median_ms: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct SpeedupReport {
+    hardware_threads: usize,
+    repeats: usize,
+    gemm_dims: Vec<usize>,
+    epoch_samples: usize,
+    data_source: String,
+    rows: Vec<Timing>,
+}
+
+/// Median wall-clock milliseconds of `repeats` runs of `f`.
+fn median_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let repeats = args.get_usize("repeats", if quick { 3 } else { 7 });
+    let (m, k, n) = if quick { (96, 96, 96) } else { (256, 256, 256) };
+    let train_n = if quick { 64 } else { 256 };
+    let threads_sweep = [1usize, 2, 4];
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rng = rng_from_seed(3);
+    let a: Vec<f32> = Tensor::randn([m, k], &mut rng).as_slice().to_vec();
+    let b: Vec<f32> = Tensor::randn([k, n], &mut rng).as_slice().to_vec();
+    let (train, _test, data_source) = load_data(train_n, 16, 16, 5, 0.05);
+
+    let mut rows: Vec<Timing> = Vec::new();
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for (workload, mut run) in [
+        (
+            "gemm",
+            Box::new(|| {
+                std::hint::black_box(gemm(&a, &b, m, k, n));
+            }) as Box<dyn FnMut()>,
+        ),
+        (
+            "gemm_at_b",
+            Box::new(|| {
+                std::hint::black_box(gemm_at_b(&a, &b, k, m, n));
+            }),
+        ),
+        (
+            "sync_epoch",
+            Box::new(|| {
+                let cfg = SplitConfig::tiny(CutPoint(1), 4).epochs(1).seed(9);
+                let mut t = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
+                std::hint::black_box(t.run_epoch(0));
+            }),
+        ),
+    ] {
+        let mut serial_ms = 0.0;
+        for &threads in &threads_sweep {
+            let ms = with_threads(threads, || median_ms(repeats, &mut run));
+            if threads == 1 {
+                serial_ms = ms;
+            }
+            let speedup = if ms > 0.0 { serial_ms / ms } else { 0.0 };
+            rows.push(Timing {
+                workload: workload.to_string(),
+                threads,
+                median_ms: ms,
+                speedup_vs_serial: speedup,
+            });
+            table.push(vec![
+                workload.to_string(),
+                threads.to_string(),
+                format!("{:.3}", ms),
+                format!("{:.2}x", speedup),
+            ]);
+        }
+    }
+
+    println!(
+        "parallel speedup (hardware threads: {}, repeats: {})\n",
+        hardware_threads, repeats
+    );
+    println!(
+        "{}",
+        render_table(&["workload", "threads", "median ms", "speedup"], &table)
+    );
+
+    write_json(
+        "parallel",
+        &SpeedupReport {
+            hardware_threads,
+            repeats,
+            gemm_dims: vec![m, k, n],
+            epoch_samples: train_n,
+            data_source: data_source.to_string(),
+            rows,
+        },
+    );
+}

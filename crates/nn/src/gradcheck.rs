@@ -102,7 +102,7 @@ fn set_param_coord(net: &mut Sequential, target_param: usize, coord: usize, valu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layers::{Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};
+    use crate::layers::{BatchNorm2d, Conv2d, Dense, Dropout, Flatten, MaxPool2d, Relu};
     use crate::loss::{MseLoss, SoftmaxCrossEntropy};
     use stsl_tensor::init::rng_from_seed;
 
@@ -158,6 +158,37 @@ mod tests {
             "max rel error {}",
             report.max_rel_error
         );
+    }
+
+    #[test]
+    fn batchnorm_stack_passes_in_train_mode() {
+        // The checker computes analytic grads with one Train forward but
+        // probes the loss in Eval mode. With momentum 1.0 the running
+        // statistics after that Train forward equal the batch statistics,
+        // and with the norm as the first layer its input — hence its
+        // statistics — is unchanged by any parameter probe, so both modes
+        // apply the same normalization and the comparison is exact.
+        let mut net = Sequential::new();
+        net.push(BatchNorm2d::new(2).momentum(1.0));
+        net.push(Conv2d::new(2, 3, 3, 4));
+        net.push(Relu::new());
+        net.push(Flatten::new());
+        net.push(Dense::new(3 * 4 * 4, 3, 5));
+        let x = Tensor::randn([3, 2, 4, 4], &mut rng_from_seed(9));
+        let report = check_param_gradients(
+            &mut net,
+            &x,
+            &[0, 1, 2],
+            &SoftmaxCrossEntropy::new(),
+            7,
+            1e-2,
+        );
+        assert!(
+            report.passes(3e-2),
+            "max rel error {}",
+            report.max_rel_error
+        );
+        assert!(report.probes > 10);
     }
 
     #[test]

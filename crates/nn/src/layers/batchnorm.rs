@@ -1,6 +1,7 @@
 //! 2-D batch normalization.
 
 use crate::layer::{Layer, Mode, ParamView};
+use stsl_parallel::{par_chunks_mut, par_chunks_mut2, par_map_indexed, ChunkPolicy};
 use stsl_tensor::Tensor;
 
 /// Batch normalization over `NCHW` activations (per-channel statistics
@@ -59,9 +60,11 @@ impl BatchNorm2d {
         let plane = h * w;
         let count = (n * plane) as f32;
         let src = input.as_slice();
-        let mut mean = vec![0.0f32; c];
-        let mut var = vec![0.0f32; c];
-        for ci in 0..c {
+        // Channel-parallel: each channel's reduction is an independent
+        // serial loop in (ni, i) ascending order, so the f64 accumulation
+        // order — and therefore every rounded f32 — is identical for any
+        // thread count.
+        let per_channel = par_map_indexed(c, ChunkPolicy::min_chunk(1), |ci| {
             let mut acc = 0.0f64;
             for ni in 0..n {
                 let off = (ni * c + ci) * plane;
@@ -69,18 +72,18 @@ impl BatchNorm2d {
                     acc += v as f64;
                 }
             }
-            mean[ci] = (acc / count as f64) as f32;
+            let mean = (acc / count as f64) as f32;
             let mut sq = 0.0f64;
             for ni in 0..n {
                 let off = (ni * c + ci) * plane;
                 for &v in &src[off..off + plane] {
-                    let d = v - mean[ci];
+                    let d = v - mean;
                     sq += (d * d) as f64;
                 }
             }
-            var[ci] = (sq / count as f64) as f32;
-        }
-        (mean, var)
+            (mean, (sq / count as f64) as f32)
+        });
+        per_channel.into_iter().unzip()
     }
 }
 
@@ -97,7 +100,7 @@ impl Layer for BatchNorm2d {
             input.shape()
         );
         assert_eq!(input.dim(1), self.channels, "channel mismatch");
-        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (c, h, w) = (input.dim(1), input.dim(2), input.dim(3));
         let plane = h * w;
         let (mean, var) = match mode {
             Mode::Train => {
@@ -122,15 +125,31 @@ impl Layer for BatchNorm2d {
         let beta = self.beta.as_slice();
         let mut out = vec![0.0f32; src.len()];
         let mut xhat = vec![0.0f32; src.len()];
-        for ni in 0..n {
-            for ci in 0..c {
-                let off = (ni * c + ci) * plane;
-                for i in 0..plane {
-                    let xh = (src[off + i] - mean[ci]) * inv_std[ci];
-                    xhat[off + i] = xh;
-                    out[off + i] = gamma[ci] * xh + beta[ci];
-                }
-            }
+        // Batch-parallel elementwise normalization; both outputs are pure
+        // per-element writes, so results are partition-invariant.
+        let sample = c * plane;
+        if !out.is_empty() {
+            par_chunks_mut2(
+                &mut out,
+                &mut xhat,
+                sample,
+                sample,
+                ChunkPolicy::min_chunk(1),
+                |ni0, out_band, xhat_band| {
+                    for bi in 0..out_band.len() / sample {
+                        let ni = ni0 + bi;
+                        for ci in 0..c {
+                            let off = (ni * c + ci) * plane;
+                            let loc = (bi * c + ci) * plane;
+                            for i in 0..plane {
+                                let xh = (src[off + i] - mean[ci]) * inv_std[ci];
+                                xhat_band[loc + i] = xh;
+                                out_band[loc + i] = gamma[ci] * xh + beta[ci];
+                            }
+                        }
+                    }
+                },
+            );
         }
         if mode == Mode::Train {
             self.cache = Some(Cache {
@@ -154,34 +173,50 @@ impl Layer for BatchNorm2d {
         let xhat = cache.xhat.as_slice();
         let g = dout.as_slice();
         let gamma = self.gamma.as_slice();
-        // Per-channel reductions.
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
-        for ni in 0..n {
-            for ci in 0..c {
-                let off = (ni * c + ci) * plane;
-                for i in 0..plane {
-                    sum_dy[ci] += g[off + i];
-                    sum_dy_xhat[ci] += g[off + i] * xhat[off + i];
+        // Per-channel reductions, one channel per parallel unit. Each
+        // channel's two sums accumulate in the same (ni, i) ascending order
+        // as the serial sweep, so no reduction-order drift.
+        let (sum_dy, sum_dy_xhat): (Vec<f32>, Vec<f32>) =
+            par_map_indexed(c, ChunkPolicy::min_chunk(1), |ci| {
+                let mut dy = 0.0f32;
+                let mut dy_xhat = 0.0f32;
+                for ni in 0..n {
+                    let off = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        dy += g[off + i];
+                        dy_xhat += g[off + i] * xhat[off + i];
+                    }
                 }
-            }
-        }
+                (dy, dy_xhat)
+            })
+            .into_iter()
+            .unzip();
         // Parameter gradients.
         for ci in 0..c {
             self.dbeta.as_mut_slice()[ci] += sum_dy[ci];
             self.dgamma.as_mut_slice()[ci] += sum_dy_xhat[ci];
         }
-        // Input gradient: dx = γ/(m·σ) · (m·dy − Σdy − x̂·Σ(dy·x̂))
+        // Input gradient: dx = γ/(m·σ) · (m·dy − Σdy − x̂·Σ(dy·x̂)),
+        // batch-parallel pure writes.
         let mut dx = vec![0.0f32; g.len()];
-        for ni in 0..n {
-            for ci in 0..c {
-                let off = (ni * c + ci) * plane;
-                let k = gamma[ci] * cache.inv_std[ci] / count;
-                for i in 0..plane {
-                    dx[off + i] =
-                        k * (count * g[off + i] - sum_dy[ci] - xhat[off + i] * sum_dy_xhat[ci]);
+        let sample = c * plane;
+        if !dx.is_empty() {
+            par_chunks_mut(&mut dx, sample, ChunkPolicy::min_chunk(1), |ni0, band| {
+                for bi in 0..band.len() / sample {
+                    let ni = ni0 + bi;
+                    for ci in 0..c {
+                        let off = (ni * c + ci) * plane;
+                        let loc = (bi * c + ci) * plane;
+                        let k = gamma[ci] * cache.inv_std[ci] / count;
+                        for i in 0..plane {
+                            band[loc + i] = k
+                                * (count * g[off + i]
+                                    - sum_dy[ci]
+                                    - xhat[off + i] * sum_dy_xhat[ci]);
+                        }
+                    }
                 }
-            }
+            });
         }
         Tensor::from_vec(dx, dims)
     }
@@ -275,6 +310,76 @@ mod tests {
                 i,
                 num,
                 ana
+            );
+        }
+    }
+
+    #[test]
+    fn eval_mode_parameter_gradients_match_finite_differences() {
+        // Eval mode never caches, so there is no backward path to probe —
+        // but its parameter dependence is the plain affine map
+        // y = γ·x̂_run + β, whose gradients under L = Σ m·y have the
+        // closed forms dγ_c = Σ m·x̂_run and dβ_c = Σ m. Verify both
+        // against central finite differences through the real Eval
+        // forward, with non-trivial running statistics.
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = rng_from_seed(3);
+        let warm = Tensor::randn([4, 2, 3, 3], &mut rng);
+        bn.forward(&warm, Mode::Train);
+        bn.cache = None;
+        let x = Tensor::randn([2, 2, 3, 3], &mut rng);
+        let m = Tensor::randn([2, 2, 3, 3], &mut rng);
+        let loss = |bn: &mut BatchNorm2d| -> f32 {
+            bn.forward(&x, Mode::Eval)
+                .as_slice()
+                .iter()
+                .zip(m.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let (n, c, plane) = (2usize, 2usize, 9usize);
+        let fd_eps = 1e-2f32;
+        for ci in 0..c {
+            let rm = bn.running_mean.as_slice()[ci];
+            let rv = bn.running_var.as_slice()[ci];
+            let inv = 1.0 / (rv + bn.eps).sqrt();
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for ni in 0..n {
+                let off = (ni * c + ci) * plane;
+                for i in 0..plane {
+                    let xh = (x.as_slice()[off + i] - rm) * inv;
+                    dgamma += m.as_slice()[off + i] * xh;
+                    dbeta += m.as_slice()[off + i];
+                }
+            }
+            let orig_g = bn.gamma.as_slice()[ci];
+            bn.gamma.as_mut_slice()[ci] = orig_g + fd_eps;
+            let lp = loss(&mut bn);
+            bn.gamma.as_mut_slice()[ci] = orig_g - fd_eps;
+            let lm = loss(&mut bn);
+            bn.gamma.as_mut_slice()[ci] = orig_g;
+            let num_g = (lp - lm) / (2.0 * fd_eps);
+            assert!(
+                (num_g - dgamma).abs() < 2e-2 * (1.0 + num_g.abs()),
+                "dgamma[{}]: {} vs {}",
+                ci,
+                num_g,
+                dgamma
+            );
+            let orig_b = bn.beta.as_slice()[ci];
+            bn.beta.as_mut_slice()[ci] = orig_b + fd_eps;
+            let lp = loss(&mut bn);
+            bn.beta.as_mut_slice()[ci] = orig_b - fd_eps;
+            let lm = loss(&mut bn);
+            bn.beta.as_mut_slice()[ci] = orig_b;
+            let num_b = (lp - lm) / (2.0 * fd_eps);
+            assert!(
+                (num_b - dbeta).abs() < 2e-2 * (1.0 + num_b.abs()),
+                "dbeta[{}]: {} vs {}",
+                ci,
+                num_b,
+                dbeta
             );
         }
     }

@@ -69,15 +69,25 @@ impl Layer for Dense {
             input.shape()
         );
         assert_eq!(input.dim(1), self.in_features, "dense input width mismatch");
-        // [n, in] · [out, in]ᵀ -> [n, out]
+        // [n, in] · [out, in]ᵀ -> [n, out] (the GEMM is row-parallel
+        // inside stsl-tensor); the bias add is batch-parallel pure writes.
         let mut out = input.matmul_t(&self.weight);
-        let bias = &self.bias;
-        let (n, o) = (out.dim(0), out.dim(1));
+        let bias = self.bias.as_slice();
+        let o = out.dim(1);
         let data = out.as_mut_slice();
-        for r in 0..n {
-            for c in 0..o {
-                data[r * o + c] += bias.as_slice()[c];
-            }
+        if !data.is_empty() {
+            stsl_parallel::par_chunks_mut(
+                data,
+                o,
+                stsl_parallel::ChunkPolicy::min_chunk(64),
+                |_r0, band| {
+                    for row in band.chunks_mut(o) {
+                        for (d, &b) in row.iter_mut().zip(bias) {
+                            *d += b;
+                        }
+                    }
+                },
+            );
         }
         if mode == Mode::Train {
             self.cache = Some(input.clone());

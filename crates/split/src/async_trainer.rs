@@ -323,9 +323,32 @@ impl AsyncSplitTrainer {
             self.events
                 .schedule(SimTime::ZERO + iv, Event::CheckpointTick);
         }
-        // Kick off: every client computes its first batch at t = 0.
-        for i in 0..self.clients.len() {
-            self.launch_next_batch(EndSystemId(i), SimTime::ZERO);
+        // Kick off: every client computes its first batch at t = 0. The
+        // batch forwards are independent per client, so they fan out
+        // across threads; the uplinks are then sent in ascending client
+        // order, so the event schedule — and with it every subsequent
+        // arrival, retry, and gradient — is identical to a serial kickoff
+        // for any `STSL_THREADS`.
+        let crashed = self.crashed.clone();
+        let firsts: Vec<Option<ActivationMsg>> = stsl_parallel::par_map_mut(
+            &mut self.clients,
+            stsl_parallel::ChunkPolicy::min_chunk(1),
+            |i, c| {
+                if crashed[i] || c.epoch_finished() {
+                    None
+                } else {
+                    c.next_batch()
+                }
+            },
+        );
+        for (i, first) in firsts.into_iter().enumerate() {
+            match first {
+                Some(msg) => self.send_uplink(msg, 0, SimTime::ZERO + self.compute.client_batch),
+                // Degenerate cases (pre-crashed client, empty shard) take
+                // the ordinary path so epoch bookkeeping stays in one
+                // place.
+                None => self.launch_next_batch(EndSystemId(i), SimTime::ZERO),
+            }
         }
         // Drain the event loop.
         while let Some((t, event)) = self.events.pop() {

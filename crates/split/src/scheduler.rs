@@ -312,4 +312,145 @@ mod tests {
         assert!(job.is_none());
         assert!(discarded.is_empty());
     }
+
+    mod fairness_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        const CLIENTS: usize = 4;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Round-robin fairness invariant: at every pop, the chosen
+            /// end-system's already-served count is minimal among the
+            /// end-systems that still have work queued. This is the local
+            /// guarantee that prevents the "biased learning" failure mode —
+            /// no client with pending batches can be skipped in favor of a
+            /// better-served one, under *any* arrival order.
+            #[test]
+            fn round_robin_always_serves_a_least_served_pending_client(
+                arrivals in prop::collection::vec(0usize..CLIENTS, 1..60),
+            ) {
+                let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, CLIENTS);
+                let mut queued = [0u64; CLIENTS];
+                for (i, &from) in arrivals.iter().enumerate() {
+                    q.push(t(i as u64), msg(from, i as u32));
+                    queued[from] += 1;
+                }
+                let mut served = vec![0u64; CLIENTS];
+                loop {
+                    let (job, discarded) = q.pop(t(1_000));
+                    prop_assert!(discarded.is_empty());
+                    let Some(job) = job else { break };
+                    let who = job.msg.from.0;
+                    let min_pending = (0..CLIENTS)
+                        .filter(|&c| queued[c] > 0)
+                        .map(|c| served[c])
+                        .min()
+                        .expect("a job was popped, so some client had work");
+                    prop_assert_eq!(served[who], min_pending);
+                    prop_assert!(queued[who] > 0);
+                    served[who] += 1;
+                    queued[who] -= 1;
+                }
+                prop_assert_eq!(&served, q.served_per_client());
+            }
+
+            /// Global staleness bound: while every end-system stays
+            /// backlogged, no end-system's applied-update count may lag the
+            /// maximum by more than one round — the round-robin staleness
+            /// bound. The arrival interleaving is randomized; each client's
+            /// backlog is topped up to the same size so the bound is
+            /// exercised over a full drain.
+            #[test]
+            fn round_robin_lag_bounded_by_one_under_full_backlog(
+                order in prop::collection::vec(0usize..CLIENTS, 8..60),
+            ) {
+                let mut counts = [0u64; CLIENTS];
+                for &c in &order {
+                    counts[c] += 1;
+                }
+                let per_client = counts.iter().copied().min().unwrap_or(0).max(1);
+
+                let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, CLIENTS);
+                let mut pushed = [0u64; CLIENTS];
+                let mut clock = 0u64;
+                // Random interleaving, capped at `per_client` per end-system.
+                for &c in &order {
+                    if pushed[c] < per_client {
+                        q.push(t(clock), msg(c, clock as u32));
+                        pushed[c] += 1;
+                        clock += 1;
+                    }
+                }
+                // Top up stragglers so every client holds exactly
+                // `per_client` jobs (arriving last: the worst case for them).
+                for (c, p) in pushed.iter_mut().enumerate() {
+                    while *p < per_client {
+                        q.push(t(clock), msg(c, clock as u32));
+                        *p += 1;
+                        clock += 1;
+                    }
+                }
+
+                let mut served = vec![0u64; CLIENTS];
+                for _ in 0..per_client * CLIENTS as u64 {
+                    let job = q.pop(t(1_000)).0.expect("queue drains exactly");
+                    served[job.msg.from.0] += 1;
+                    let max = *served.iter().max().unwrap();
+                    let min = *served.iter().min().unwrap();
+                    prop_assert!(
+                        max - min <= 1,
+                        "service lag {} exceeds the round-robin staleness bound of 1 \
+                         (served: {:?})",
+                        max - min,
+                        served
+                    );
+                }
+                prop_assert!(q.is_empty());
+                prop_assert!(served.iter().all(|&s| s == per_client));
+                prop_assert_eq!(q.service_imbalance(), 0.0);
+            }
+
+            /// Staleness-drop policy invariant: a served batch is never
+            /// older than `max_age` at service time, and everything expired
+            /// ahead of it is discarded and counted, regardless of arrival
+            /// timing.
+            #[test]
+            fn staleness_drop_never_serves_expired_batches(
+                mut gaps in prop::collection::vec(0u64..40, 1..30),
+                max_age in 5u64..25,
+            ) {
+                let policy = SchedulingPolicy::StalenessDrop {
+                    max_age: SimDuration::from_millis(max_age),
+                };
+                let mut q = ArrivalQueue::new(policy, 2);
+                // Arrivals must be time-ordered, as in the simulator.
+                let mut clock = 0u64;
+                let total = gaps.len();
+                for (i, gap) in gaps.drain(..).enumerate() {
+                    clock += gap;
+                    q.push(t(clock), msg(i % 2, i as u32));
+                }
+                let now = t(clock + max_age / 2);
+                let mut served = 0usize;
+                let mut discarded_total = 0usize;
+                loop {
+                    let (job, discarded) = q.pop(now);
+                    discarded_total += discarded.len();
+                    let Some(job) = job else { break };
+                    prop_assert!(
+                        now.since(job.arrived_at) <= SimDuration::from_millis(max_age),
+                        "served a batch {} old, max_age {} ms",
+                        now.since(job.arrived_at),
+                        max_age
+                    );
+                    served += 1;
+                }
+                prop_assert_eq!(served + discarded_total, total);
+                prop_assert_eq!(q.dropped(), discarded_total as u64);
+            }
+        }
+    }
 }

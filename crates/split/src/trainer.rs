@@ -8,10 +8,12 @@
 
 use crate::client::EndSystem;
 use crate::config::SplitConfig;
+use crate::protocol::{ActivationMsg, GradientMsg};
 use crate::report::{CommReport, EpochStats, TrainReport};
 use crate::server::CentralServer;
 use stsl_data::{ImageDataset, Partition};
 use stsl_nn::metrics::RunningMean;
+use stsl_parallel::{par_map_mut, ChunkPolicy};
 use stsl_simnet::EndSystemId;
 use stsl_tensor::init::derive_seed;
 
@@ -114,24 +116,52 @@ impl SpatioTemporalTrainer {
         }
         let mut loss = RunningMean::new();
         let mut acc = RunningMean::new();
+        // Each round has three phases. Client compute depends only on a
+        // client's own private state, so fanning phases 1 and 3 out across
+        // threads produces exactly the batches and updates of the old
+        // serial interleave; phase 2 keeps the server a single logical
+        // queue processing uplinks in ascending end-system order, so the
+        // server's step order, comm totals, and metric order are
+        // unchanged for any `STSL_THREADS`.
+        let fanout = ChunkPolicy::min_chunk(1);
         let mut remaining = true;
         while remaining {
             remaining = false;
-            for (i, c) in self.clients.iter_mut().enumerate() {
-                if !participating[i] {
+            // Phase 1 (spatial fan-out): every participating end-system
+            // computes its next smashed-activation batch concurrently.
+            let msgs: Vec<Option<ActivationMsg>> =
+                par_map_mut(&mut self.clients, fanout, |i, c| {
+                    if participating[i] {
+                        c.next_batch()
+                    } else {
+                        None
+                    }
+                });
+            // Phase 2 (serial server queue): process arrivals in
+            // end-system order, exactly as the serial loop did.
+            let mut grads: Vec<Option<GradientMsg>> = Vec::new();
+            for msg in &msgs {
+                let Some(msg) = msg else {
+                    grads.push(None);
                     continue;
-                }
-                let Some(msg) = c.next_batch() else { continue };
+                };
                 remaining = true;
                 self.comm.uplink_bytes += msg.encoded_len() as u64;
                 self.comm.uplink_messages += 1;
-                let out = self.server.process(&msg);
+                let out = self.server.process(msg);
                 self.comm.downlink_bytes += out.gradient.encoded_len() as u64;
                 self.comm.downlink_messages += 1;
-                c.apply_gradient(&out.gradient)
-                    .expect("sync protocol answers every batch in order");
                 loss.push(out.loss);
                 acc.push(out.batch_accuracy);
+                grads.push(Some(out.gradient));
+            }
+            // Phase 3 (fan-in): each end-system applies its own cut-layer
+            // gradient to its private lower model, concurrently.
+            let results = par_map_mut(&mut self.clients, fanout, |i, c| {
+                grads[i].as_ref().map(|g| c.apply_gradient(g))
+            });
+            for r in results.into_iter().flatten() {
+                r.expect("sync protocol answers every batch in order");
             }
         }
         (loss.mean().unwrap_or(0.0), acc.mean().unwrap_or(0.0))

@@ -7,6 +7,7 @@
 
 use crate::ops::matmul::{gemm, gemm_a_bt, gemm_at_b};
 use crate::{Tensor, TensorError};
+use stsl_parallel::{par_chunks_mut, ChunkPolicy};
 
 /// Geometry of a convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,11 +82,19 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
     let cols_n = n * oh * ow;
     let mut cols = vec![0.0f32; ckk * cols_n];
     let src = input.as_slice();
-    for ci in 0..c {
-        for ki in 0..spec.kh {
-            for kj in 0..spec.kw {
-                let row = (ci * spec.kh + ki) * spec.kw + kj;
-                let dst_row = &mut cols[row * cols_n..(row + 1) * cols_n];
+    // Each output row of the column matrix belongs to one (ci, ki, kj)
+    // triple and is written by exactly one thread. The batch axis is not
+    // contiguous in this layout ([ckk, n*oh*ow]), so the parallel unit is
+    // the kernel-position row rather than the batch sample; writes are
+    // pure (no accumulation), so any partition yields identical bits.
+    if !cols.is_empty() {
+        let policy = ChunkPolicy::min_chunk((4096 / cols_n.max(1)).max(1));
+        par_chunks_mut(&mut cols, cols_n, policy, |row0, chunk| {
+            for (ri, dst_row) in chunk.chunks_mut(cols_n).enumerate() {
+                let row = row0 + ri;
+                let ci = row / (spec.kh * spec.kw);
+                let ki = row / spec.kw % spec.kh;
+                let kj = row % spec.kw;
                 for ni in 0..n {
                     let plane = &src[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
                     for oi in 0..oh {
@@ -105,7 +114,7 @@ pub fn im2col(input: &Tensor, spec: ConvSpec) -> Tensor {
                     }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(cols, [ckk, cols_n])
 }
@@ -125,31 +134,46 @@ pub fn col2im(cols: &Tensor, n: usize, c: usize, h: usize, w: usize, spec: ConvS
     assert_eq!(cols.dims(), &[ckk, cols_n], "col2im shape mismatch");
     let src = cols.as_slice();
     let mut out = vec![0.0f32; n * c * h * w];
-    for ci in 0..c {
-        for ki in 0..spec.kh {
-            for kj in 0..spec.kw {
-                let row = (ci * spec.kh + ki) * spec.kw + kj;
-                let src_row = &src[row * cols_n..(row + 1) * cols_n];
-                for ni in 0..n {
-                    let plane = &mut out[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-                    for oi in 0..oh {
-                        let iy = (oi * spec.stride + ki) as isize - spec.pad as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let src_base = (ni * oh + oi) * ow;
-                        let dst_base = iy as usize * w;
-                        for oj in 0..ow {
-                            let ix = (oj * spec.stride + kj) as isize - spec.pad as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+    // Batch-parallel: each thread folds a contiguous band of samples. A
+    // sample's plane receives its overlapping-window sums in (ci, ki, kj,
+    // oi, oj) ascending order — the same per-element order as a serial
+    // sweep — so the accumulated floats are bitwise partition-invariant.
+    if !out.is_empty() {
+        par_chunks_mut(
+            &mut out,
+            c * h * w,
+            ChunkPolicy::min_chunk(1),
+            |ni0, band| {
+                for (bi, sample) in band.chunks_mut(c * h * w).enumerate() {
+                    let ni = ni0 + bi;
+                    for ci in 0..c {
+                        let plane = &mut sample[ci * h * w..(ci + 1) * h * w];
+                        for ki in 0..spec.kh {
+                            for kj in 0..spec.kw {
+                                let row = (ci * spec.kh + ki) * spec.kw + kj;
+                                let src_row = &src[row * cols_n..(row + 1) * cols_n];
+                                for oi in 0..oh {
+                                    let iy = (oi * spec.stride + ki) as isize - spec.pad as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    let src_base = (ni * oh + oi) * ow;
+                                    let dst_base = iy as usize * w;
+                                    for oj in 0..ow {
+                                        let ix =
+                                            (oj * spec.stride + kj) as isize - spec.pad as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        plane[dst_base + ix as usize] += src_row[src_base + oj];
+                                    }
+                                }
                             }
-                            plane[dst_base + ix as usize] += src_row[src_base + oj];
                         }
                     }
                 }
-            }
-        }
+            },
+        );
     }
     Tensor::from_vec(out, [n, c, h, w])
 }
@@ -222,19 +246,25 @@ pub fn conv2d_forward(
     let l = n * oh * ow;
     // [oc, ckk] · [ckk, l] -> [oc, l]
     let flat = gemm(weight.as_slice(), cols.as_slice(), oc, ckk, l);
-    // Reorder [oc, (n, oh, ow)] -> [n, oc, oh, ow] and add bias.
+    // Reorder [oc, (n, oh, ow)] -> [n, oc, oh, ow] and add bias, one batch
+    // sample per parallel unit (pure writes, partition-invariant).
     let mut out = vec![0.0f32; n * oc * oh * ow];
     let bias_s = bias.as_slice();
     let hw = oh * ow;
-    for o in 0..oc {
-        let b = bias_s[o];
-        for ni in 0..n {
-            let src = &flat[o * l + ni * hw..o * l + (ni + 1) * hw];
-            let dst = &mut out[(ni * oc + o) * hw..(ni * oc + o + 1) * hw];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = s + b;
+    if !out.is_empty() {
+        par_chunks_mut(&mut out, oc * hw, ChunkPolicy::min_chunk(1), |ni0, band| {
+            for (bi, sample) in band.chunks_mut(oc * hw).enumerate() {
+                let ni = ni0 + bi;
+                for o in 0..oc {
+                    let b = bias_s[o];
+                    let src = &flat[o * l + ni * hw..o * l + (ni + 1) * hw];
+                    let dst = &mut sample[o * hw..(o + 1) * hw];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = s + b;
+                    }
+                }
             }
-        }
+        });
     }
     Ok(Conv2dForward {
         output: Tensor::from_vec(out, [n, oc, oh, ow]),
@@ -264,15 +294,20 @@ pub fn conv2d_backward(
     let hw = oh * ow;
     let l = n * hw;
     let ckk = c * kh * kw;
-    // Reorder dout [n, oc, oh, ow] -> [oc, l] matching the forward layout.
+    // Reorder dout [n, oc, oh, ow] -> [oc, l] matching the forward layout;
+    // one output-channel row per parallel unit (pure copies).
     let mut dflat = vec![0.0f32; oc * l];
     let ds = dout.as_slice();
-    for ni in 0..n {
-        for o in 0..oc {
-            let src = &ds[(ni * oc + o) * hw..(ni * oc + o + 1) * hw];
-            let dst = &mut dflat[o * l + ni * hw..o * l + (ni + 1) * hw];
-            dst.copy_from_slice(src);
-        }
+    if !dflat.is_empty() {
+        par_chunks_mut(&mut dflat, l, ChunkPolicy::min_chunk(1), |o0, band| {
+            for (bi, dst_row) in band.chunks_mut(l).enumerate() {
+                let o = o0 + bi;
+                for ni in 0..n {
+                    let src = &ds[(ni * oc + o) * hw..(ni * oc + o + 1) * hw];
+                    dst_row[ni * hw..(ni + 1) * hw].copy_from_slice(src);
+                }
+            }
+        });
     }
     // dW = dflat [oc, l] · colsᵀ [l, ckk] -> [oc, ckk]
     let dw = gemm_a_bt(&dflat, cols.as_slice(), oc, l, ckk);
@@ -423,6 +458,39 @@ mod tests {
         let w = Tensor::zeros([4, 2, 3, 3]); // wrong in_channels
         let b = Tensor::zeros([4]);
         assert!(conv2d_forward(&x, &w, &b, ConvSpec::same(3)).is_err());
+    }
+
+    #[test]
+    fn conv_pipeline_bitwise_identical_across_thread_counts() {
+        use stsl_parallel::with_threads;
+        let mut rng = rng_from_seed(23);
+        let spec = ConvSpec::same(3);
+        let x = Tensor::randn([5, 3, 7, 7], &mut rng);
+        let w = Tensor::randn([4, 3, 3, 3], &mut rng);
+        let b = Tensor::randn([4], &mut rng);
+        let dout = Tensor::randn([5, 4, 7, 7], &mut rng);
+        let run = || {
+            let fwd = conv2d_forward(&x, &w, &b, spec).unwrap();
+            let grads = conv2d_backward(&dout, &fwd.cols, &w, (5, 3, 7, 7), spec);
+            (fwd.output, fwd.cols, grads)
+        };
+        let (so, sc, sg) = with_threads(1, run);
+        for threads in [2usize, 4] {
+            let (po, pc, pg) = with_threads(threads, run);
+            assert_eq!(so, po, "forward output drifted at {} threads", threads);
+            assert_eq!(sc, pc, "im2col drifted at {} threads", threads);
+            assert_eq!(
+                sg.dinput, pg.dinput,
+                "dinput drifted at {} threads",
+                threads
+            );
+            assert_eq!(
+                sg.dweight, pg.dweight,
+                "dweight drifted at {} threads",
+                threads
+            );
+            assert_eq!(sg.dbias, pg.dbias, "dbias drifted at {} threads", threads);
+        }
     }
 
     #[test]

@@ -1,14 +1,27 @@
 //! Matrix multiplication kernels.
 //!
-//! A cache-blocked, `i-k-j`-ordered GEMM over contiguous `f32` slices. This
-//! is deliberately dependency-free; it reaches a few GFLOP/s on a laptop
-//! core, which is plenty for the scaled-down CIFAR workloads the experiment
-//! harness runs.
+//! A cache-blocked, `i-k-j`-ordered GEMM over contiguous `f32` slices,
+//! row-parallelized with `stsl-parallel`. Each thread owns a contiguous
+//! block of output rows (disjoint `split_at_mut` slices), and every output
+//! element accumulates its `k` terms in ascending-`kk` order no matter how
+//! the rows are partitioned — so results are bitwise identical for every
+//! `STSL_THREADS` setting.
 
 use crate::{Tensor, TensorError};
+use stsl_parallel::{par_chunks_mut, ChunkPolicy};
 
 /// Cache-block edge (elements). 64×64 f32 blocks ≈ 16 KiB, comfortably L1.
 const BLOCK: usize = 64;
+
+/// Minimum multiply-adds worth handing to a thread; smaller row blocks are
+/// pure spawn overhead.
+const PAR_GRAIN: usize = 1 << 14;
+
+/// Row-partitioning policy for an output whose rows each cost
+/// `work_per_row` multiply-adds.
+fn row_policy(work_per_row: usize) -> ChunkPolicy {
+    ChunkPolicy::min_chunk((PAR_GRAIN / work_per_row.max(1)).max(1))
+}
 
 /// Computes `C = A · B` for row-major slices: `a` is `m×k`, `b` is `k×n`,
 /// and the result is `m×n`.
@@ -35,16 +48,34 @@ pub fn gemm_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usi
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     assert_eq!(c.len(), m * n, "out length");
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
+    if c.is_empty() {
+        return;
+    }
+    par_chunks_mut(c, n, row_policy(k * n), |row0, chunk| {
+        gemm_rows(a, b, chunk, row0, k, n, alpha);
+    });
+}
+
+/// Serial blocked kernel for one contiguous band of output rows: `chunk`
+/// holds rows `row0..row0+chunk.len()/n` of `C` and accumulates
+/// `alpha * A·B` into them.
+///
+/// Each `c[i][j]` sums its `k` terms in ascending-`kk` order (the `i`/`j`
+/// cache blocking never reorders a single element's accumulation), so the
+/// result does not depend on where the band boundaries fall.
+fn gemm_rows(a: &[f32], b: &[f32], c: &mut [f32], row0: usize, k: usize, n: usize, alpha: f32) {
+    let rows = c.len() / n;
+    for i0 in (0..rows).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(rows);
         for k0 in (0..k).step_by(BLOCK) {
             let k1 = (k0 + BLOCK).min(k);
             for j0 in (0..n).step_by(BLOCK) {
                 let j1 = (j0 + BLOCK).min(n);
                 for i in i0..i1 {
                     let crow = &mut c[i * n..(i + 1) * n];
+                    let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
                     for kk in k0..k1 {
-                        let aik = alpha * a[i * k + kk];
+                        let aik = alpha * arow[kk];
                         if aik == 0.0 {
                             continue;
                         }
@@ -72,20 +103,28 @@ pub fn gemm_at_b(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     assert_eq!(a.len(), k * m, "lhs length");
     assert_eq!(b.len(), k * n, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    for kk in 0..k {
-        let arow = &a[kk * m..(kk + 1) * m];
-        let brow = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aik = arow[i];
-            if aik == 0.0 {
-                continue;
-            }
-            let crow = &mut c[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aik * brow[j];
+    if c.is_empty() {
+        return c;
+    }
+    // Output rows are partitioned across threads; per element the k terms
+    // still accumulate in ascending-kk order (A is read strided instead of
+    // transposed), so this matches the serial result bit for bit.
+    par_chunks_mut(&mut c, n, row_policy(k * n), |row0, chunk| {
+        let rows = chunk.len() / n;
+        for i in 0..rows {
+            let crow = &mut chunk[i * n..(i + 1) * n];
+            for kk in 0..k {
+                let aik = a[kk * m + row0 + i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    crow[j] += aik * brow[j];
+                }
             }
         }
-    }
+    });
     c
 }
 
@@ -98,17 +137,23 @@ pub fn gemm_a_bt(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32>
     assert_eq!(a.len(), m * k, "lhs length");
     assert_eq!(b.len(), n * k, "rhs length");
     let mut c = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += arow[kk] * brow[kk];
-            }
-            c[i * n + j] = acc;
-        }
+    if c.is_empty() {
+        return c;
     }
+    par_chunks_mut(&mut c, n, row_policy(k * n), |row0, chunk| {
+        let rows = chunk.len() / n;
+        for i in 0..rows {
+            let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for j in 0..n {
+                let brow = &b[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                chunk[i * n + j] = acc;
+            }
+        }
+    });
     c
 }
 
@@ -279,6 +324,38 @@ mod tests {
         assert!(a.try_matmul(&b).is_err());
         let v = Tensor::zeros([3]);
         assert!(a.try_matmul(&v).is_err());
+    }
+
+    #[test]
+    fn kernels_bitwise_identical_across_thread_counts() {
+        use stsl_parallel::with_threads;
+        let mut rng = rng_from_seed(21);
+        // Awkward sizes: straddle the cache-block edge and split unevenly
+        // across 4 threads so band boundaries land mid-block.
+        let (m, k, n) = (67, 33, 41);
+        let a = Tensor::randn([m, k], &mut rng);
+        let b = Tensor::randn([k, n], &mut rng);
+        let bt = Tensor::randn([n, k], &mut rng);
+        let at = Tensor::randn([k, m], &mut rng);
+        for threads in [2usize, 4, 7] {
+            let serial = with_threads(1, || gemm(a.as_slice(), b.as_slice(), m, k, n));
+            // min_chunk 1 forces actual multi-thread partitioning even on
+            // sizes below the work grain.
+            let par = with_threads(threads, || {
+                let mut c = vec![0.0f32; m * n];
+                par_chunks_mut(&mut c, n, ChunkPolicy::min_chunk(1), |row0, chunk| {
+                    gemm_rows(a.as_slice(), b.as_slice(), chunk, row0, k, n, 1.0);
+                });
+                c
+            });
+            assert_eq!(serial, par, "gemm drifted at {} threads", threads);
+            let s_atb = with_threads(1, || gemm_at_b(at.as_slice(), b.as_slice(), m, k, n));
+            let p_atb = with_threads(threads, || gemm_at_b(at.as_slice(), b.as_slice(), m, k, n));
+            assert_eq!(s_atb, p_atb, "gemm_at_b drifted at {} threads", threads);
+            let s_abt = with_threads(1, || gemm_a_bt(a.as_slice(), bt.as_slice(), m, k, n));
+            let p_abt = with_threads(threads, || gemm_a_bt(a.as_slice(), bt.as_slice(), m, k, n));
+            assert_eq!(s_abt, p_abt, "gemm_a_bt drifted at {} threads", threads);
+        }
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Golden-file checkpoint compatibility test.
+//!
+//! `tests/fixtures/checkpoint_golden.json` is a checkpoint committed to the
+//! repository. This test proves that checkpoints written by past versions of
+//! the code keep loading and restoring — i.e. the on-disk format (struct
+//! field names, tensor encoding, config schema) has not drifted. If a change
+//! to `Checkpoint`, `SplitConfig`, or the tensor serde breaks compatibility
+//! on purpose, regenerate the fixture with:
+//!
+//! ```text
+//! STSL_REGEN_GOLDEN=1 cargo test --test checkpoint_golden
+//! ```
+//!
+//! and commit the new fixture together with the format change.
+
+use spatio_temporal_split_learning::data::SyntheticCifar;
+use spatio_temporal_split_learning::split::{
+    Checkpoint, CnnArch, CutPoint, PoolKind, SpatioTemporalTrainer, SplitConfig,
+};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/checkpoint_golden.json"
+);
+
+/// The micro deployment the fixture was generated from: a single-block CNN
+/// on 8x8 inputs so the committed JSON stays a few kilobytes.
+fn golden_config() -> SplitConfig {
+    let arch = CnnArch {
+        in_channels: 3,
+        image_side: 8,
+        filters: vec![2],
+        dense_units: 4,
+        classes: 10,
+        pool: PoolKind::Max,
+    };
+    SplitConfig::tiny(CutPoint(1), 2)
+        .arch(arch)
+        .epochs(1)
+        .batch_size(8)
+        .seed(1234)
+}
+
+fn golden_data() -> (
+    spatio_temporal_split_learning::data::ImageDataset,
+    spatio_temporal_split_learning::data::ImageDataset,
+) {
+    let train = SyntheticCifar::new(21)
+        .difficulty(0.05)
+        .generate_sized(32, 8);
+    let test = SyntheticCifar::new(22)
+        .difficulty(0.05)
+        .generate_sized(16, 8);
+    (train, test)
+}
+
+#[test]
+fn golden_checkpoint_loads_and_roundtrips() {
+    let (train, test) = golden_data();
+
+    if std::env::var_os("STSL_REGEN_GOLDEN").is_some() {
+        let mut t = SpatioTemporalTrainer::new(golden_config(), &train).unwrap();
+        t.run_epoch(0);
+        t.checkpoint().save(FIXTURE).unwrap();
+    }
+
+    // 1. The committed fixture still deserializes.
+    let golden = Checkpoint::load(FIXTURE)
+        .expect("committed golden checkpoint must keep loading; see module docs");
+    assert_eq!(golden.config.end_systems, 2);
+    assert_eq!(golden.config.cut, CutPoint(1));
+    assert_eq!(golden.config.arch.filters, vec![2]);
+    assert_eq!(golden.client_states.len(), 2);
+    assert!(!golden.server_state.is_empty());
+
+    // 2. It restores into a freshly built deployment of its own config,
+    //    and the restored deployment behaves deterministically.
+    let mut restored = SpatioTemporalTrainer::new(golden.config.clone(), &train).unwrap();
+    restored.restore(&golden).unwrap();
+    let acc = restored.evaluate(&test);
+    assert_eq!(
+        restored.evaluate(&test),
+        acc,
+        "evaluation must be deterministic"
+    );
+
+    // A trainer with different weights (pre-restore seed differs from the
+    // trained fixture weights) must be changed by the restore: its own
+    // checkpoint now equals the golden state.
+    let re_ckpt = restored.checkpoint();
+    assert_eq!(re_ckpt.server_state, golden.server_state);
+    assert_eq!(re_ckpt.client_states, golden.client_states);
+
+    // 3. Save -> load is value- and byte-stable: no format drift within
+    //    one build either.
+    let dir = std::env::temp_dir().join("stsl_golden_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("golden_roundtrip.json");
+    golden.save(&path).unwrap();
+    let back = Checkpoint::load(&path).unwrap();
+    assert_eq!(back.server_state, golden.server_state);
+    assert_eq!(back.client_states, golden.client_states);
+    let first = std::fs::read(&path).unwrap();
+    back.save(&path).unwrap();
+    let second = std::fs::read(&path).unwrap();
+    assert_eq!(first, second, "serializer output must be reproducible");
+    std::fs::remove_file(&path).ok();
+}
