@@ -1,0 +1,203 @@
+//! **E11** — data-plane integrity under payload corruption.
+//!
+//! Sweeps the in-flight corruption rate over the asynchronous trainer
+//! twice per rate: once with the integrity guard on (checksummed wire
+//! format + ingress validation + quarantine + rollback watchdog) and once
+//! with it off (the legacy trusting receiver). With the guard, corrupted
+//! frames are caught by CRC and retransmitted, so accuracy stays within a
+//! couple of points of the fault-free run; without it, frames that still
+//! parse are silently applied and training degrades or diverges.
+//!
+//! ```text
+//! cargo run -p stsl-bench --release --bin corruption_sweep
+//! cargo run -p stsl-bench --release --bin corruption_sweep -- --quick
+//! ```
+
+use serde::Serialize;
+use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_simnet::{FaultPlan, Link, SimDuration, SimTime, StarTopology};
+use stsl_split::{
+    AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, GuardConfig, RetryPolicy, SchedulingPolicy,
+    SplitConfig,
+};
+
+#[derive(Serialize)]
+struct Row {
+    corruption_rate: f64,
+    guard: bool,
+    sim_seconds: f64,
+    corrupted_payloads: u64,
+    corrupted_rejected: u64,
+    anomalies_rejected: u64,
+    quarantines: u64,
+    quarantine_drops: u64,
+    rollbacks: u64,
+    retransmits: u64,
+    retry_exhausted: u64,
+    batches_lost: u64,
+    served_per_client: Vec<u64>,
+    accuracy: f32,
+}
+
+#[derive(Serialize)]
+struct CorruptionSweep {
+    data_source: String,
+    end_systems: usize,
+    rates: Vec<f64>,
+    /// Accuracy of the fault-free guard-on run, the reference the
+    /// guard-on rows are compared against.
+    clean_accuracy: f32,
+    rows: Vec<Row>,
+}
+
+fn run_one(
+    rate: f64,
+    guard: bool,
+    clients: usize,
+    epochs: usize,
+    seed: u64,
+    train: &stsl_data::ImageDataset,
+    test: &stsl_data::ImageDataset,
+) -> Row {
+    let topology = StarTopology::new(
+        (0..clients)
+            .map(|i| Link::wan(5.0 + 10.0 * i as f64, 100.0))
+            .collect(),
+    );
+    let mut plan = FaultPlan::new();
+    if rate > 0.0 {
+        // Corruption active over the whole run.
+        plan = plan.payload_corruption_all(
+            clients,
+            rate,
+            SimTime::ZERO,
+            SimTime::from_micros(u64::MAX),
+        );
+    }
+    let cfg = SplitConfig::new(CutPoint(1), clients)
+        .arch(CnnArch::tiny())
+        .epochs(epochs)
+        .batch_size(16)
+        .seed(seed);
+    let mut trainer = AsyncSplitTrainer::new(
+        cfg,
+        train,
+        topology,
+        SchedulingPolicy::RoundRobin,
+        ComputeModel::default(),
+    )
+    .expect("valid config")
+    .with_fault_plan(plan)
+    .with_retry_policy(RetryPolicy::default())
+    .with_auto_checkpoint(SimDuration::from_millis(200));
+    if guard {
+        trainer = trainer.with_integrity_guard(GuardConfig::default());
+    }
+    let r = trainer.run(test);
+    Row {
+        corruption_rate: rate,
+        guard,
+        sim_seconds: r.sim_seconds,
+        corrupted_payloads: r.corrupted_payloads,
+        corrupted_rejected: r.corrupted_rejected,
+        anomalies_rejected: r.anomalies_rejected,
+        quarantines: r.quarantines,
+        quarantine_drops: r.quarantine_drops,
+        rollbacks: r.rollbacks,
+        retransmits: r.retransmits,
+        retry_exhausted: r.retry_exhausted,
+        batches_lost: r.batches_lost,
+        served_per_client: r.served_per_client.clone(),
+        accuracy: r.final_accuracy,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.get_flag("quick");
+    let clients = args.get_usize("clients", 4);
+    let seed = args.get_u64("seed", 47);
+    let epochs = args.get_usize("epochs", if quick { 2 } else { 4 });
+    let train_n = args.get_usize("samples", if quick { 160 } else { 640 });
+    let rates: Vec<f64> = if quick {
+        vec![0.0, 0.05]
+    } else {
+        vec![0.0, 0.01, 0.05, 0.15]
+    };
+
+    let difficulty = args.get_f32("difficulty", 0.12);
+    let (train, test, source) = load_data(train_n, 160, 16, seed, difficulty);
+    println!(
+        "E11 corruption sweep — {} data, {} end-systems, epochs {}",
+        source, clients, epochs
+    );
+
+    let mut rows = Vec::new();
+    let mut clean_accuracy = 0.0f32;
+    for &rate in &rates {
+        for guard in [true, false] {
+            let row = run_one(rate, guard, clients, epochs, seed, &train, &test);
+            println!(
+                "  rate {:>5.2}%  guard {:>3}  corrupted {:>4} (rejected {:>4})  anomalies {:>3}  quarantines {}  rollbacks {}  lost {:>3}  acc {:.1}%",
+                rate * 100.0,
+                if guard { "on" } else { "off" },
+                row.corrupted_payloads,
+                row.corrupted_rejected,
+                row.anomalies_rejected,
+                row.quarantines,
+                row.rollbacks,
+                row.batches_lost,
+                row.accuracy * 100.0
+            );
+            if rate == 0.0 && guard {
+                clean_accuracy = row.accuracy;
+            }
+            rows.push(row);
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}%", r.corruption_rate * 100.0),
+                (if r.guard { "on" } else { "off" }).to_string(),
+                format!("{}", r.corrupted_payloads),
+                format!("{}", r.corrupted_rejected),
+                format!("{}", r.anomalies_rejected),
+                format!("{}", r.rollbacks),
+                format!("{}", r.batches_lost),
+                format!("{:+.1}", (r.accuracy - clean_accuracy) * 100.0),
+                format!("{:.1}%", r.accuracy * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &[
+                "corruption",
+                "guard",
+                "corrupted",
+                "rejected",
+                "anomalies",
+                "rollbacks",
+                "lost",
+                "Δacc (pts)",
+                "accuracy"
+            ],
+            &table
+        )
+    );
+
+    write_json(
+        "guard",
+        &CorruptionSweep {
+            data_source: source.to_string(),
+            end_systems: clients,
+            rates,
+            clean_accuracy,
+            rows,
+        },
+    );
+}

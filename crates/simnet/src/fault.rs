@@ -49,6 +49,17 @@ pub enum FaultKind {
     },
     /// The server processes nothing during the window.
     ServerStall,
+    /// Each transfer on the client's link is delivered, but its payload is
+    /// garbled with probability `rate` (random bit flips or truncation —
+    /// see [`corrupt_payload`]). Unlike [`FaultKind::LossSurge`] the bytes
+    /// still arrive; whether the receiver notices is up to the protocol's
+    /// integrity checks.
+    PayloadCorruption {
+        /// Affected end-system.
+        client: EndSystemId,
+        /// Per-transfer corruption probability in `(0, 1]`.
+        rate: f64,
+    },
 }
 
 impl FaultKind {
@@ -58,7 +69,8 @@ impl FaultKind {
             FaultKind::LinkOutage { client }
             | FaultKind::LossSurge { client, .. }
             | FaultKind::LatencySpike { client, .. }
-            | FaultKind::ClientCrash { client } => Some(client),
+            | FaultKind::ClientCrash { client }
+            | FaultKind::PayloadCorruption { client, .. } => Some(client),
             FaultKind::ServerStall => None,
         }
     }
@@ -95,6 +107,12 @@ impl FaultEpisode {
             assert!(
                 extra_ms >= 0.0 && jitter_ms >= 0.0,
                 "latency spike must be non-negative"
+            );
+        }
+        if let FaultKind::PayloadCorruption { rate, .. } = kind {
+            assert!(
+                rate > 0.0 && rate <= 1.0,
+                "corruption rate must be in (0, 1]"
             );
         }
         FaultEpisode { kind, from, until }
@@ -174,6 +192,36 @@ impl FaultPlan {
     /// Adds a server stall over `[from, until)`.
     pub fn server_stall(self, from: SimTime, until: SimTime) -> Self {
         self.with(FaultEpisode::new(FaultKind::ServerStall, from, until))
+    }
+
+    /// Adds a payload-corruption episode on `client` over `[from, until)`.
+    pub fn payload_corruption(
+        self,
+        client: EndSystemId,
+        rate: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::PayloadCorruption { client, rate },
+            from,
+            until,
+        ))
+    }
+
+    /// Adds the same payload-corruption episode to every one of `clients`
+    /// links — the corruption-sweep benchmark's uniform-noise scenario.
+    pub fn payload_corruption_all(
+        mut self,
+        clients: usize,
+        rate: f64,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        for i in 0..clients {
+            self = self.payload_corruption(EndSystemId(i), rate, from, until);
+        }
+        self
     }
 
     /// Generates a random but fully seed-determined plan over `[0,
@@ -276,6 +324,21 @@ impl FaultPlan {
         1.0 - pass
     }
 
+    /// Probability that a transfer on `client`'s link at `at` is delivered
+    /// with a garbled payload (compounded over concurrent corruption
+    /// episodes, like [`FaultPlan::surge_loss`]).
+    pub fn corruption_rate(&self, client: EndSystemId, at: SimTime) -> f64 {
+        let mut pass = 1.0;
+        for e in &self.episodes {
+            if let FaultKind::PayloadCorruption { client: c, rate } = e.kind {
+                if c == client && e.active_at(at) {
+                    pass *= 1.0 - rate;
+                }
+            }
+        }
+        1.0 - pass
+    }
+
     /// Whether `client` is crashed at `at`.
     pub fn client_crashed(&self, client: EndSystemId, at: SimTime) -> bool {
         self.episodes.iter().any(|e| {
@@ -349,6 +412,29 @@ impl FaultPlan {
             }
         }
         Some(base + SimDuration::from_secs_f64(extra_ms / 1e3))
+    }
+}
+
+/// Garbles a wire payload in place, deterministically given the RNG state:
+/// with probability 1/4 the buffer is truncated at a random point,
+/// otherwise 1–16 random bits are flipped. Models the two damage shapes a
+/// WAN actually produces — partial delivery and in-flight bit errors.
+///
+/// Empty buffers are returned untouched (there is nothing to garble).
+pub fn corrupt_payload(bytes: &mut Vec<u8>, rng: &mut StdRng) {
+    if bytes.is_empty() {
+        return;
+    }
+    if rng.gen_bool(0.25) {
+        let keep = rng.gen_range(0..bytes.len());
+        bytes.truncate(keep);
+    } else {
+        let flips = rng.gen_range(1..=16usize);
+        for _ in 0..flips {
+            let idx = rng.gen_range(0..bytes.len());
+            let bit = rng.gen_range(0..8u8);
+            bytes[idx] ^= 1 << bit;
+        }
     }
 }
 
@@ -458,5 +544,72 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_window_rejected() {
         FaultEpisode::new(FaultKind::ServerStall, t(5), t(5));
+    }
+
+    #[test]
+    fn corruption_rate_compounds_and_scopes_to_client() {
+        let plan = FaultPlan::new()
+            .payload_corruption(EndSystemId(0), 0.5, t(0), t(100))
+            .payload_corruption(EndSystemId(0), 0.5, t(50), t(100));
+        assert!((plan.corruption_rate(EndSystemId(0), t(10)) - 0.5).abs() < 1e-12);
+        assert!((plan.corruption_rate(EndSystemId(0), t(60)) - 0.75).abs() < 1e-12);
+        assert_eq!(plan.corruption_rate(EndSystemId(0), t(100)), 0.0);
+        assert_eq!(plan.corruption_rate(EndSystemId(1), t(60)), 0.0);
+        assert_eq!(
+            plan.episodes()[0].kind.client(),
+            Some(EndSystemId(0)),
+            "corruption faults are client-scoped"
+        );
+    }
+
+    #[test]
+    fn payload_corruption_all_covers_every_client() {
+        let plan = FaultPlan::new().payload_corruption_all(3, 0.2, t(0), t(10));
+        assert_eq!(plan.len(), 3);
+        for i in 0..3 {
+            assert!((plan.corruption_rate(EndSystemId(i), t(5)) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "corruption rate")]
+    fn zero_corruption_rate_rejected() {
+        FaultPlan::new().payload_corruption(EndSystemId(0), 0.0, t(0), t(10));
+    }
+
+    #[test]
+    fn corrupt_payload_is_deterministic_and_always_damages() {
+        let original: Vec<u8> = (0u8..=255).collect();
+        let mut a = original.clone();
+        let mut b = original.clone();
+        corrupt_payload(&mut a, &mut StdRng::seed_from_u64(7));
+        corrupt_payload(&mut b, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b, "same seed, same damage");
+
+        // Over many draws both damage shapes occur, and nearly every draw
+        // visibly changes the buffer (an even number of flips landing on
+        // the same bit can cancel, so "always" is not guaranteed).
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_truncation = false;
+        let mut saw_flip = false;
+        let mut damaged = 0;
+        for _ in 0..100 {
+            let mut buf = original.clone();
+            corrupt_payload(&mut buf, &mut rng);
+            if buf != original {
+                damaged += 1;
+            }
+            if buf.len() < original.len() {
+                saw_truncation = true;
+            } else {
+                saw_flip = true;
+            }
+        }
+        assert!(saw_truncation && saw_flip);
+        assert!(damaged >= 90, "only {damaged}/100 draws caused damage");
+
+        let mut empty: Vec<u8> = Vec::new();
+        corrupt_payload(&mut empty, &mut StdRng::seed_from_u64(3));
+        assert!(empty.is_empty());
     }
 }

@@ -31,6 +31,20 @@ pub enum TraceKind {
     CheckpointSave,
     /// An end-system was restored from a checkpoint.
     CheckpointRestore,
+    /// A fault garbled an in-flight payload.
+    PayloadCorrupted,
+    /// The integrity guard rejected a frame (checksum/structure failure).
+    CorruptRejected,
+    /// Ingress validation rejected a non-finite or norm-exploding update.
+    AnomalyRejected,
+    /// An end-system was quarantined after repeated anomalies.
+    Quarantine,
+    /// A quarantined end-system finished probation and rejoined.
+    QuarantineRelease,
+    /// An update from a quarantined end-system was dropped.
+    QuarantineDrop,
+    /// The health watchdog rolled training back to an earlier checkpoint.
+    Rollback,
 }
 
 /// One traced event.

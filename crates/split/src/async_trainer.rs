@@ -26,22 +26,33 @@
 //!   persisted data-loader position.
 //! * **Auto-checkpointing** — with
 //!   [`AsyncSplitTrainer::with_auto_checkpoint`], the full deployment
-//!   state is snapshotted every interval of simulated time; the latest
-//!   snapshot drives crash recovery and is available afterwards via
-//!   [`AsyncSplitTrainer::last_checkpoint`].
+//!   state is snapshotted every interval of simulated time into a
+//!   [`CheckpointRing`]; the newest snapshot drives crash recovery and is
+//!   available afterwards via [`AsyncSplitTrainer::last_checkpoint`].
+//! * **Data-plane integrity** — with
+//!   [`AsyncSplitTrainer::with_integrity_guard`], corrupted frames are
+//!   rejected at the receiving edge (the wire format's CRC), incoming
+//!   activations are validated before they touch the shared model,
+//!   repeat offenders are quarantined with probationary rejoin, and a
+//!   health watchdog rolls the deployment back through the checkpoint
+//!   ring when training diverges anyway.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointRing};
 use crate::client::EndSystem;
 use crate::config::SplitConfig;
+use crate::guard::{tensor_rms, GuardConfig, HealthWatchdog, QuarantineStatus, QuarantineTracker};
 use crate::protocol::{ActivationMsg, GradientMsg};
 use crate::report::{AsyncReport, CommReport};
 use crate::resilience::{LivenessTracker, RetryPolicy};
 use crate::scheduler::{ArrivalQueue, SchedulingPolicy};
 use crate::server::CentralServer;
 use crate::trainer::ConfigError;
+use bytes::Bytes;
+use rand::Rng;
 use stsl_data::{ImageDataset, Partition};
 use stsl_simnet::{
-    EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime, StarTopology, TraceKind, TraceLog,
+    corrupt_payload, EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime, StarTopology,
+    TraceKind, TraceLog,
 };
 use stsl_tensor::init::{derive_seed, rng_from_seed};
 
@@ -84,6 +95,12 @@ enum Event {
     UplinkRetry { msg: ActivationMsg, failures: u32 },
     /// A lost gradient message is retransmitted.
     DownlinkRetry { msg: GradientMsg, failures: u32 },
+    /// An activation frame arrived garbled and was detected at the server
+    /// edge; `msg` is the original for retransmission.
+    CorruptUplink { msg: ActivationMsg, failures: u32 },
+    /// A gradient frame arrived garbled and was detected at the client
+    /// edge.
+    CorruptDownlink { msg: GradientMsg, failures: u32 },
     /// A client's outstanding batch is lost for good; abandon it and move
     /// on to the next one.
     BatchAbandon(EndSystemId),
@@ -119,7 +136,7 @@ pub struct AsyncSplitTrainer {
     liveness_timeout: SimDuration,
     liveness: LivenessTracker,
     checkpoint_every: Option<SimDuration>,
-    last_ckpt: Option<Checkpoint>,
+    ring: CheckpointRing,
     crashed: Vec<bool>,
     down_since: Vec<Option<SimTime>>,
     downtime_us: Vec<u64>,
@@ -131,6 +148,14 @@ pub struct AsyncSplitTrainer {
     recovery_events: u64,
     checkpoint_saves: u64,
     checkpoint_restores: u64,
+    // Data-plane integrity.
+    guard: Option<GuardConfig>,
+    quarantine: QuarantineTracker,
+    watchdog: HealthWatchdog,
+    corrupted_payloads: u64,
+    corrupted_rejected: u64,
+    anomalies_rejected: u64,
+    rollbacks: u64,
 }
 
 impl AsyncSplitTrainer {
@@ -208,7 +233,7 @@ impl AsyncSplitTrainer {
             liveness_timeout,
             liveness: LivenessTracker::new(n, liveness_timeout),
             checkpoint_every: None,
-            last_ckpt: None,
+            ring: CheckpointRing::new(1),
             crashed: vec![false; n],
             down_since: vec![None; n],
             downtime_us: vec![0; n],
@@ -220,6 +245,13 @@ impl AsyncSplitTrainer {
             recovery_events: 0,
             checkpoint_saves: 0,
             checkpoint_restores: 0,
+            guard: None,
+            quarantine: QuarantineTracker::new(n, &GuardConfig::default()),
+            watchdog: HealthWatchdog::new(&GuardConfig::default()),
+            corrupted_payloads: 0,
+            corrupted_rejected: 0,
+            anomalies_rejected: 0,
+            rollbacks: 0,
         })
     }
 
@@ -259,9 +291,35 @@ impl AsyncSplitTrainer {
         self
     }
 
+    /// Enables the data-plane integrity guard (builder style): corrupted
+    /// frames are rejected by CRC and retransmitted, activations are
+    /// validated at ingress, repeat offenders are quarantined, and the
+    /// health watchdog rolls back through the checkpoint ring on
+    /// divergence. Without the guard, corrupted frames that still parse
+    /// are silently accepted — the poison the guard exists to stop.
+    pub fn with_integrity_guard(mut self, guard: GuardConfig) -> Self {
+        self.quarantine = QuarantineTracker::new(self.clients.len(), &guard);
+        self.watchdog = HealthWatchdog::new(&guard);
+        self.ring = CheckpointRing::new(guard.ring_capacity);
+        self.guard = Some(guard);
+        self
+    }
+
     /// The most recent auto-checkpoint, if any was taken.
     pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
-        self.last_ckpt.as_ref()
+        self.ring.latest()
+    }
+
+    /// The ring of recent checkpoints (holds one without the integrity
+    /// guard, [`GuardConfig::ring_capacity`] with it).
+    pub fn checkpoint_ring(&self) -> &CheckpointRing {
+        &self.ring
+    }
+
+    /// The end-systems — for inspection and for fault injection (e.g.
+    /// poisoning a client's private model to exercise the ingress guard).
+    pub fn clients_mut(&mut self) -> &mut [EndSystem] {
+        &mut self.clients
     }
 
     /// Enables event tracing; every arrival, service start, gradient
@@ -367,6 +425,20 @@ impl AsyncSplitTrainer {
                         // is useless to the server.
                         continue;
                     }
+                    if self.guard.is_some() {
+                        match self.quarantine.admit(id.0, t) {
+                            QuarantineStatus::Dropped => {
+                                self.trace_event(t, TraceKind::QuarantineDrop, id);
+                                self.batches_lost_per_client[id.0] += 1;
+                                self.events.schedule(t, Event::BatchAbandon(id));
+                                continue;
+                            }
+                            QuarantineStatus::Released => {
+                                self.trace_event(t, TraceKind::QuarantineRelease, id);
+                            }
+                            QuarantineStatus::Clear => {}
+                        }
+                    }
                     self.trace_event(t, TraceKind::Arrival, id);
                     self.liveness.observe(id, t);
                     self.queue.push(t, msg);
@@ -408,6 +480,38 @@ impl AsyncSplitTrainer {
                     self.trace_event(t, TraceKind::Retransmit, id);
                     self.send_downlink(msg, failures, t);
                 }
+                Event::CorruptUplink { msg, failures } => {
+                    let id = msg.from;
+                    if self.crashed[id.0] {
+                        continue;
+                    }
+                    self.corrupted_rejected += 1;
+                    self.trace_event(t, TraceKind::CorruptRejected, id);
+                    let failures = failures + 1;
+                    if self.retry.may_retry(failures) {
+                        let delay = self.retry.backoff(failures, &mut self.retry_rng);
+                        self.events
+                            .schedule(t + delay, Event::UplinkRetry { msg, failures });
+                    } else {
+                        self.give_up(id, t);
+                    }
+                }
+                Event::CorruptDownlink { msg, failures } => {
+                    let id = msg.to;
+                    if self.crashed[id.0] {
+                        continue;
+                    }
+                    self.corrupted_rejected += 1;
+                    self.trace_event(t, TraceKind::CorruptRejected, id);
+                    let failures = failures + 1;
+                    if self.retry.may_retry(failures) {
+                        let delay = self.retry.backoff(failures, &mut self.retry_rng);
+                        self.events
+                            .schedule(t + delay, Event::DownlinkRetry { msg, failures });
+                    } else {
+                        self.give_up(id, t);
+                    }
+                }
                 Event::BatchAbandon(id) => {
                     if self.crashed[id.0] {
                         continue;
@@ -438,13 +542,11 @@ impl AsyncSplitTrainer {
                         self.downtime_us[id.0] += t.since(s).as_micros();
                     }
                     self.trace_event(t, TraceKind::ClientRecover, id);
-                    if let Some(ckpt) = self.last_ckpt.take() {
+                    let state = self.ring.latest().map(|c| c.client_states[id.0].clone());
+                    if let Some(state) = state {
                         // Crash-recovery restore: the private layers roll
-                        // back to the last persisted snapshot.
-                        self.clients[id.0]
-                            .model_mut()
-                            .load_state_dict(&ckpt.client_states[id.0]);
-                        self.last_ckpt = Some(ckpt);
+                        // back to the newest persisted snapshot.
+                        self.clients[id.0].model_mut().load_state_dict(&state);
                         self.checkpoint_restores += 1;
                         self.trace_event(t, TraceKind::CheckpointRestore, id);
                     }
@@ -504,21 +606,37 @@ impl AsyncSplitTrainer {
             checkpoint_saves: self.checkpoint_saves,
             checkpoint_restores: self.checkpoint_restores,
             dead_clients_detected: self.liveness.dead_detections(),
+            corrupted_payloads: self.corrupted_payloads,
+            corrupted_rejected: self.corrupted_rejected,
+            anomalies_rejected: self.anomalies_rejected,
+            quarantines: self.quarantine.quarantines(),
+            quarantine_drops: self.quarantine.drops(),
+            quarantine_releases: self.quarantine.releases(),
+            rollbacks: self.rollbacks,
             comm: self.comm,
         }
     }
 
     /// Snapshots the full deployment (config, server uppers, every
-    /// end-system's private lowers) as the latest auto-checkpoint.
+    /// end-system's private lowers) into the checkpoint ring. With the
+    /// integrity guard on, a non-finite server state is never banked —
+    /// that would turn the rollback ring into a trap.
     fn take_checkpoint(&mut self, t: SimTime) {
-        let config = self.config.clone();
         let server_state = self.server.model_mut().state_dict();
+        if self.guard.is_some()
+            && server_state
+                .iter()
+                .any(|p| p.as_slice().iter().any(|v| !v.is_finite()))
+        {
+            return;
+        }
+        let config = self.config.clone();
         let client_states = self
             .clients
             .iter_mut()
             .map(|c| c.model_mut().state_dict())
             .collect();
-        self.last_ckpt = Some(Checkpoint {
+        self.ring.push(Checkpoint {
             config,
             server_state,
             client_states,
@@ -526,6 +644,25 @@ impl AsyncSplitTrainer {
         self.checkpoint_saves += 1;
         let server_id = self.server_trace_id();
         self.trace_event(t, TraceKind::CheckpointSave, server_id);
+    }
+
+    /// Watchdog-triggered rollback: restore the newest ring checkpoint
+    /// (server uppers *and* every end-system's private lowers — they
+    /// co-adapted, so they roll back together), cool the learning rate,
+    /// and re-arm the watchdog. Repeated divergences pop progressively
+    /// older entries.
+    fn rollback(&mut self, t: SimTime, guard: &GuardConfig) {
+        self.rollbacks += 1;
+        let server_id = self.server_trace_id();
+        self.trace_event(t, TraceKind::Rollback, server_id);
+        if let Some(ckpt) = self.ring.pop_latest() {
+            self.server.model_mut().load_state_dict(&ckpt.server_state);
+            for (client, state) in self.clients.iter_mut().zip(&ckpt.client_states) {
+                client.model_mut().load_state_dict(state);
+            }
+        }
+        self.server.scale_learning_rate(guard.lr_cooldown);
+        self.watchdog.reset();
     }
 
     /// Computes client `id`'s next batch starting at `t` and sends it
@@ -566,7 +703,18 @@ impl AsyncSplitTrainer {
             .transfer_through(&link, id, bytes, at, &mut self.link_rngs[id.0])
         {
             Some(dur) => {
-                self.events.schedule(at + dur, Event::Arrival(msg));
+                // The corruption RNG is only consulted while a corruption
+                // episode is active, so corruption-free plans keep their
+                // exact event streams.
+                let rate = self.fault_plan.corruption_rate(id, at);
+                let deliver = if rate > 0.0 && self.link_rngs[id.0].gen_bool(rate) {
+                    self.corrupted_payloads += 1;
+                    self.trace_event(at, TraceKind::PayloadCorrupted, id);
+                    self.garble_uplink(msg, failures)
+                } else {
+                    Event::Arrival(msg)
+                };
+                self.events.schedule(at + dur, deliver);
             }
             None => {
                 self.network_drops += 1;
@@ -579,6 +727,62 @@ impl AsyncSplitTrainer {
                 } else {
                     self.give_up(id, at);
                 }
+            }
+        }
+    }
+
+    /// Runs `msg` through the wire: encode, garble the bytes, re-decode at
+    /// the receiving edge. With the guard on, the CRC catches the damage
+    /// (barring an astronomically unlikely collision) and the frame is
+    /// rejected for retransmission. With the guard off, a frame that still
+    /// parses structurally — right sender, batch, shapes and label range,
+    /// so the legacy receiver cannot tell it apart from a healthy one — is
+    /// delivered garbled: silent poison.
+    fn garble_uplink(&mut self, msg: ActivationMsg, failures: u32) -> Event {
+        let mut bytes = msg.encode().as_ref().to_vec();
+        corrupt_payload(&mut bytes, &mut self.link_rngs[msg.from.0]);
+        let wire = Bytes::from(bytes);
+        if self.guard.is_some() {
+            match ActivationMsg::decode(wire) {
+                Ok(m) => Event::Arrival(m),
+                Err(_) => Event::CorruptUplink { msg, failures },
+            }
+        } else {
+            match ActivationMsg::decode_unchecked(wire) {
+                Ok(m)
+                    if m.from == msg.from
+                        && m.batch_id == msg.batch_id
+                        && m.activations.dims() == msg.activations.dims()
+                        && m.targets.len() == msg.targets.len()
+                        && m.targets.iter().all(|&c| c < self.config.arch.classes) =>
+                {
+                    Event::Arrival(m)
+                }
+                _ => Event::CorruptUplink { msg, failures },
+            }
+        }
+    }
+
+    /// Downlink counterpart of [`AsyncSplitTrainer::garble_uplink`].
+    fn garble_downlink(&mut self, msg: GradientMsg, failures: u32) -> Event {
+        let mut bytes = msg.encode().as_ref().to_vec();
+        corrupt_payload(&mut bytes, &mut self.link_rngs[msg.to.0]);
+        let wire = Bytes::from(bytes);
+        if self.guard.is_some() {
+            match GradientMsg::decode(wire) {
+                Ok(m) => Event::GradArrival(m),
+                Err(_) => Event::CorruptDownlink { msg, failures },
+            }
+        } else {
+            match GradientMsg::decode_unchecked(wire) {
+                Ok(m)
+                    if m.to == msg.to
+                        && m.batch_id == msg.batch_id
+                        && m.grad.dims() == msg.grad.dims() =>
+                {
+                    Event::GradArrival(m)
+                }
+                _ => Event::CorruptDownlink { msg, failures },
             }
         }
     }
@@ -596,7 +800,15 @@ impl AsyncSplitTrainer {
             .transfer_through(&link, id, bytes, at, &mut self.link_rngs[id.0])
         {
             Some(dur) => {
-                self.events.schedule(at + dur, Event::GradArrival(msg));
+                let rate = self.fault_plan.corruption_rate(id, at);
+                let deliver = if rate > 0.0 && self.link_rngs[id.0].gen_bool(rate) {
+                    self.corrupted_payloads += 1;
+                    self.trace_event(at, TraceKind::PayloadCorrupted, id);
+                    self.garble_downlink(msg, failures)
+                } else {
+                    Event::GradArrival(msg)
+                };
+                self.events.schedule(at + dur, deliver);
             }
             None => {
                 self.network_drops += 1;
@@ -646,11 +858,47 @@ impl AsyncSplitTrainer {
             self.events.schedule(t, Event::BatchAbandon(msg.from));
         }
         let Some(job) = job else { return };
-        self.trace_event(t, TraceKind::ServiceStart, job.msg.from);
-        let out = self.server.process(&job.msg);
+        let id = job.msg.from;
+        self.trace_event(t, TraceKind::ServiceStart, id);
+        let out = if let Some(g) = self.guard {
+            match self.server.process_guarded(&job.msg, &g) {
+                Ok(out) => out,
+                Err(_) => {
+                    // Ingress validation rejected the update before it
+                    // touched the model. Validation is cheap, so the
+                    // server stays free for the next queued job.
+                    self.anomalies_rejected += 1;
+                    self.trace_event(t, TraceKind::AnomalyRejected, id);
+                    self.batches_lost_per_client[id.0] += 1;
+                    if self.quarantine.record_anomaly(id.0, t) {
+                        self.trace_event(t, TraceKind::Quarantine, id);
+                    }
+                    self.events.schedule(t, Event::BatchAbandon(id));
+                    self.try_serve(t);
+                    return;
+                }
+            }
+        } else {
+            self.server.process(&job.msg)
+        };
         let done = t + self.compute.server_batch;
         self.server_busy_until = done;
         self.events.schedule(done, Event::ServerFree);
+        if let Some(g) = self.guard {
+            self.quarantine.record_clean(id.0);
+            if self
+                .watchdog
+                .observe(out.loss, tensor_rms(&out.gradient.grad))
+            {
+                // The optimizer step that just happened poisoned the
+                // shared model: roll back instead of propagating the
+                // gradient. The batch still cost server time.
+                self.rollback(t, &g);
+                self.batches_lost_per_client[id.0] += 1;
+                self.events.schedule(done, Event::BatchAbandon(id));
+                return;
+            }
+        }
         self.send_downlink(out.gradient, 0, done);
     }
 }

@@ -65,6 +65,8 @@ impl CentralizedTrainer {
                 train_loss: l.mean().unwrap_or(0.0),
                 train_accuracy: a.mean().unwrap_or(0.0),
                 test_accuracy,
+                anomalies_rejected: 0,
+                rollbacks: 0,
             });
         }
         let final_accuracy = self.evaluate(test);
@@ -77,6 +79,8 @@ impl CentralizedTrainer {
             per_client_accuracy: vec![final_accuracy],
             comm: CommReport::default(),
             wall_seconds: start.elapsed().as_secs_f64(),
+            anomalies_rejected: 0,
+            rollbacks: 0,
         }
     }
 
@@ -226,6 +230,8 @@ impl FedAvgTrainer {
                 train_loss: f32::NAN, // FedAvg reports round accuracy only
                 train_accuracy: f32::NAN,
                 test_accuracy,
+                anomalies_rejected: 0,
+                rollbacks: 0,
             });
         }
         let final_accuracy = self.evaluate(test);
@@ -238,6 +244,8 @@ impl FedAvgTrainer {
             per_client_accuracy: vec![final_accuracy; self.config.end_systems],
             comm: self.comm,
             wall_seconds: start.elapsed().as_secs_f64(),
+            anomalies_rejected: 0,
+            rollbacks: 0,
         }
     }
 

@@ -8,8 +8,15 @@
 use crate::config::SplitConfig;
 use crate::trainer::{ConfigError, SpatioTemporalTrainer};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::path::Path;
 use stsl_tensor::Tensor;
+
+/// Wraps an I/O error with the path it happened on, preserving the error
+/// kind (callers match on `kind()` to distinguish missing from corrupt).
+fn annotate(path: &Path, e: std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{}: {}", path.display(), e))
+}
 
 /// A serializable snapshot of a [`SpatioTemporalTrainer`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,20 +36,25 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem and serialization failures.
+    /// Propagates filesystem and serialization failures, annotated with
+    /// the offending path.
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
         let path = path.as_ref();
-        let json = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let json = serde_json::to_string(self).map_err(|e| {
+            annotate(
+                path,
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+            )
+        })?;
         let mut tmp_name = path.as_os_str().to_os_string();
         tmp_name.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp_name);
-        std::fs::write(&tmp, json)?;
+        std::fs::write(&tmp, json).map_err(|e| annotate(&tmp, e))?;
         match std::fs::rename(&tmp, path) {
             Ok(()) => Ok(()),
             Err(e) => {
                 std::fs::remove_file(&tmp).ok();
-                Err(e)
+                Err(annotate(path, e))
             }
         }
     }
@@ -51,11 +63,128 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Propagates filesystem and deserialization failures.
+    /// Propagates filesystem and deserialization failures, annotated with
+    /// the offending path.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<Checkpoint> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path).map_err(|e| annotate(path, e))?;
+        serde_json::from_str(&json).map_err(|e| {
+            annotate(
+                path,
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e),
+            )
+        })
+    }
+}
+
+/// A bounded ring of the last K good checkpoints, newest last.
+///
+/// The health watchdog rolls back through this ring on divergence: the
+/// newest entry first, then — if training diverges again before a fresh
+/// good checkpoint lands — progressively older ones. [`CheckpointRing::save_dir`]/
+/// [`CheckpointRing::load_dir`] persist the ring for crash→restart
+/// recovery; a corrupt entry (e.g. from a crash mid-write) is skipped on
+/// load, so restart lands on the newest *readable* state.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointRing {
+    capacity: usize,
+    entries: VecDeque<Checkpoint>,
+}
+
+impl CheckpointRing {
+    /// Creates an empty ring holding at most `capacity` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "checkpoint ring capacity must be positive");
+        CheckpointRing {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a checkpoint as the newest entry, evicting the oldest when
+    /// the ring is full.
+    pub fn push(&mut self, checkpoint: Checkpoint) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(checkpoint);
+    }
+
+    /// The newest checkpoint, if any.
+    pub fn latest(&self) -> Option<&Checkpoint> {
+        self.entries.back()
+    }
+
+    /// Removes and returns the newest checkpoint. Repeated calls walk
+    /// backward in time — the rollback escalation path.
+    pub fn pop_latest(&mut self) -> Option<Checkpoint> {
+        self.entries.pop_back()
+    }
+
+    /// Checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum checkpoints held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Persists the ring to `dir` as `ring-0.json` (oldest) through
+    /// `ring-{n-1}.json` (newest), removing any stale higher-numbered
+    /// files from a previous, longer ring.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures, annotated with the offending path.
+    pub fn save_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| annotate(dir, e))?;
+        for (i, entry) in self.entries.iter().enumerate() {
+            entry.save(dir.join(format!("ring-{i}.json")))?;
+        }
+        let mut stale = self.entries.len();
+        loop {
+            let path = dir.join(format!("ring-{stale}.json"));
+            if !path.exists() {
+                break;
+            }
+            std::fs::remove_file(&path).map_err(|e| annotate(&path, e))?;
+            stale += 1;
+        }
+        Ok(())
+    }
+
+    /// Loads a ring saved by [`CheckpointRing::save_dir`]. Entries that
+    /// fail to parse — a crash mid-write, disk damage — are skipped rather
+    /// than fatal: surviving a partially written newest entry is exactly
+    /// what the ring is for. An empty or missing directory yields an
+    /// empty ring.
+    pub fn load_dir(dir: impl AsRef<Path>, capacity: usize) -> CheckpointRing {
+        let dir = dir.as_ref();
+        let mut ring = CheckpointRing::new(capacity);
+        let mut i = 0;
+        loop {
+            let path = dir.join(format!("ring-{i}.json"));
+            if !path.exists() {
+                break;
+            }
+            if let Ok(entry) = Checkpoint::load(&path) {
+                ring.push(entry);
+            }
+            i += 1;
+        }
+        ring
     }
 }
 
@@ -179,6 +308,105 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn load_and_save_errors_name_the_path() {
+        let missing = std::env::temp_dir().join("stsl_no_such_ckpt_dir/nope.json");
+        let err = Checkpoint::load(&missing).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+        assert!(
+            err.to_string().contains("nope.json"),
+            "error should name the path: {err}"
+        );
+
+        let train = data(24, 9);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).seed(9);
+        let ckpt = SpatioTemporalTrainer::new(cfg, &train)
+            .unwrap()
+            .checkpoint();
+        let bad_dir = std::env::temp_dir().join("stsl_no_such_ckpt_dir2/sub/ckpt.json");
+        let err = ckpt.save(&bad_dir).unwrap_err();
+        assert!(
+            err.to_string().contains("ckpt.json"),
+            "error should name the path: {err}"
+        );
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_pops_newest_first() {
+        let train = data(24, 10);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).seed(10);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        let mut ring = CheckpointRing::new(2);
+        assert!(ring.is_empty());
+        assert!(ring.latest().is_none());
+
+        // Three distinguishable snapshots (weights move between epochs).
+        let a = t.checkpoint();
+        t.run_epoch(0);
+        let b = t.checkpoint();
+        t.run_epoch(1);
+        let c = t.checkpoint();
+        ring.push(a.clone());
+        ring.push(b.clone());
+        ring.push(c.clone());
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.capacity(), 2);
+        // `a` was evicted; pops walk newest to oldest.
+        assert_eq!(ring.latest().unwrap().server_state, c.server_state);
+        assert_eq!(ring.pop_latest().unwrap().server_state, c.server_state);
+        assert_eq!(ring.pop_latest().unwrap().server_state, b.server_state);
+        assert!(ring.pop_latest().is_none());
+    }
+
+    #[test]
+    fn ring_survives_disk_roundtrip_and_skips_corrupt_entries() {
+        let train = data(24, 11);
+        let cfg = SplitConfig::tiny(CutPoint(1), 2).epochs(1).seed(11);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        let mut ring = CheckpointRing::new(3);
+        ring.push(t.checkpoint());
+        t.run_epoch(0);
+        let good = t.checkpoint();
+        ring.push(good.clone());
+        t.run_epoch(1);
+        ring.push(t.checkpoint());
+
+        let dir = std::env::temp_dir().join("stsl_ring_test");
+        std::fs::remove_dir_all(&dir).ok();
+        ring.save_dir(&dir).unwrap();
+        let back = CheckpointRing::load_dir(&dir, 3);
+        assert_eq!(back.len(), 3);
+        assert_eq!(
+            back.latest().unwrap().server_state,
+            ring.latest().unwrap().server_state
+        );
+
+        // Corrupt the newest entry, as a crash mid-write would: load lands
+        // on the newest *readable* state.
+        std::fs::write(dir.join("ring-2.json"), "{truncated").unwrap();
+        let degraded = CheckpointRing::load_dir(&dir, 3);
+        assert_eq!(degraded.len(), 2);
+        assert_eq!(degraded.latest().unwrap().server_state, good.server_state);
+
+        // Saving a shorter ring removes the stale third file.
+        let mut short = CheckpointRing::new(3);
+        short.push(good);
+        short.save_dir(&dir).unwrap();
+        assert!(dir.join("ring-0.json").exists());
+        assert!(!dir.join("ring-1.json").exists());
+        assert!(!dir.join("ring-2.json").exists());
+
+        // A missing directory is an empty ring, not an error.
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(CheckpointRing::load_dir(&dir, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_ring_rejected() {
+        CheckpointRing::new(0);
     }
 
     #[test]

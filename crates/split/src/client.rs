@@ -1,6 +1,6 @@
 //! The end-system: private lower layers plus a private data shard.
 
-use crate::protocol::{ActivationMsg, BatchId, GradientMsg};
+use crate::protocol::{ActivationMsg, BatchId, DecodeError, GradientMsg};
 use stsl_data::{standard_augment, BatchPlan, ImageDataset};
 use stsl_nn::optim::Optimizer;
 use stsl_nn::{Mode, Sequential};
@@ -30,6 +30,15 @@ pub enum ProtocolError {
         /// The batch the gradient answers.
         got: BatchId,
     },
+    /// A frame failed wire-level validation (bad magic, truncation,
+    /// checksum mismatch, …).
+    Decode(DecodeError),
+}
+
+impl From<DecodeError> for ProtocolError {
+    fn from(e: DecodeError) -> Self {
+        ProtocolError::Decode(e)
+    }
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -49,6 +58,7 @@ impl std::fmt::Display for ProtocolError {
                 "end-system {} got gradient for {} while awaiting {}",
                 client, got, expected
             ),
+            ProtocolError::Decode(e) => write!(f, "frame rejected: {e}"),
         }
     }
 }

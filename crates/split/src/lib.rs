@@ -47,6 +47,7 @@ pub mod baselines;
 mod checkpoint;
 mod client;
 mod config;
+mod guard;
 mod model;
 pub mod protocol;
 mod report;
@@ -57,9 +58,13 @@ mod trainer;
 mod ushaped;
 
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointRing};
 pub use client::{EndSystem, ProtocolError};
 pub use config::{OptimizerKind, PartitionKind, SplitConfig};
+pub use guard::{
+    tensor_rms, validate_update, Anomaly, GuardConfig, HealthWatchdog, QuarantineStatus,
+    QuarantineTracker,
+};
 pub use model::{CnnArch, CutPoint, PoolKind, LAYERS_PER_BLOCK};
 pub use report::{AsyncReport, CommReport, EpochStats, TrainReport};
 pub use resilience::{LivenessTracker, RetryPolicy};

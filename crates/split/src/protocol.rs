@@ -1,9 +1,160 @@
 //! Wire messages exchanged between end-systems and the centralized server,
 //! with byte-accurate encoding for communication-cost accounting.
+//!
+//! # Wire format (version 1)
+//!
+//! Every message is framed with a 14-byte integrity header followed by a
+//! message-kind-specific payload:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic            b"STSL"
+//!      4     1  version          0x01
+//!      5     1  kind             0xA5 activation / 0x5A gradient
+//!      6     4  payload length   u32 LE, bytes after the header
+//!     10     4  CRC32 (IEEE)     u32 LE, over the payload bytes
+//!     14     …  payload
+//! ```
+//!
+//! The payload layout is unchanged from the pre-versioned format:
+//! `from/to (u32) | epoch (u32) | batch (u32) | tensor | [targets]` where a
+//! tensor is `rank (u8) | dims (u32 LE each) | data (f32 LE each)` and
+//! targets are `count (u32) | label (u16 LE each)`.
+//!
+//! [`ActivationMsg::decode`]/[`GradientMsg::decode`] verify the full frame
+//! including the checksum and never panic on hostile input; they return a
+//! typed [`DecodeError`] instead. [`ActivationMsg::decode_unchecked`] skips
+//! only the CRC comparison (the "guard off" path used to measure what silent
+//! corruption does to training) but still rejects structurally unusable
+//! frames.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use stsl_simnet::EndSystemId;
 use stsl_tensor::{Shape, Tensor};
+
+/// Leading magic bytes of every frame.
+pub const WIRE_MAGIC: [u8; 4] = *b"STSL";
+/// Current wire-format version.
+pub const WIRE_VERSION: u8 = 1;
+/// Frame-kind byte for [`ActivationMsg`].
+pub const KIND_ACTIVATION: u8 = 0xA5;
+/// Frame-kind byte for [`GradientMsg`].
+pub const KIND_GRADIENT: u8 = 0x5A;
+/// Size of the integrity header: magic + version + kind + length + CRC32.
+pub const WIRE_HEADER_BYTES: usize = 4 + 1 + 1 + 4 + 4;
+
+/// Highest tensor rank accepted on the wire (matches `[n, c, h, w]` plus
+/// slack; anything larger is corruption, not a real tensor).
+const MAX_WIRE_RANK: usize = 8;
+
+/// Fixed per-payload header: sender id (u32), epoch (u32), batch (u32).
+const PAYLOAD_HEADER_BYTES: usize = 12;
+
+/// Computes the IEEE CRC32 (reflected, polynomial `0xEDB88320`) of `data`.
+///
+/// Hand-rolled bitwise implementation: the workspace is offline and brings
+/// no checksum crate, and frames are small enough that table-free CRC is
+/// nowhere near the simulation's critical path.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a frame failed to decode. Carried inside
+/// [`ProtocolError::Decode`](crate::client::ProtocolError).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the field being read.
+    Truncated {
+        /// Bytes the current field needed.
+        needed: usize,
+        /// Bytes actually left in the buffer.
+        have: usize,
+    },
+    /// The frame does not start with [`WIRE_MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
+    /// The version byte is one this decoder does not understand.
+    UnsupportedVersion {
+        /// The version byte found.
+        got: u8,
+    },
+    /// The kind byte does not match the message type being decoded.
+    WrongKind {
+        /// Kind byte the caller expected.
+        expected: u8,
+        /// Kind byte found in the frame.
+        got: u8,
+    },
+    /// The declared payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The CRC32 over the payload does not match the header checksum.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        declared: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The payload is structurally impossible (bad rank, dims that do not
+    /// match the byte count, trailing garbage, …).
+    Malformed {
+        /// Which structural invariant failed.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, have } => {
+                write!(
+                    f,
+                    "truncated frame: field needs {needed} bytes, {have} left"
+                )
+            }
+            DecodeError::BadMagic { got } => write!(f, "bad magic {got:02x?}"),
+            DecodeError::UnsupportedVersion { got } => {
+                write!(f, "unsupported wire version {got}")
+            }
+            DecodeError::WrongKind { expected, got } => {
+                write!(
+                    f,
+                    "wrong frame kind: expected {expected:#04x}, got {got:#04x}"
+                )
+            }
+            DecodeError::LengthMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "payload length mismatch: header says {declared}, have {actual}"
+                )
+            }
+            DecodeError::ChecksumMismatch { declared, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: header {declared:#010x}, computed {computed:#010x}"
+                )
+            }
+            DecodeError::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Identifies one mini-batch computation within a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,10 +199,6 @@ pub struct GradientMsg {
     pub grad: Tensor,
 }
 
-/// Fixed per-message header: sender id (u32), epoch (u32), batch (u32),
-/// rank (u8) + dims (u32 each) come on top per tensor.
-const HEADER_BYTES: usize = 12;
-
 fn tensor_encoded_len(t: &Tensor) -> usize {
     1 + 4 * t.rank() + 4 * t.len()
 }
@@ -66,24 +213,130 @@ fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
     }
 }
 
-fn get_tensor(buf: &mut Bytes) -> Tensor {
-    let rank = buf.get_u8() as usize;
-    let dims: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
-    let shape = Shape::from(dims);
-    let data: Vec<f32> = (0..shape.len()).map(|_| buf.get_f32_le()).collect();
-    Tensor::from_vec(data, shape)
+/// Checked read helpers: every primitive read verifies `remaining()` first
+/// so hostile/truncated buffers surface as [`DecodeError::Truncated`] rather
+/// than a panic inside the `bytes` accessors.
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
+    let have = buf.remaining();
+    if have < n {
+        return Err(DecodeError::Truncated { needed: n, have });
+    }
+    Ok(())
+}
+
+fn read_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+fn read_u16(buf: &mut Bytes) -> Result<u16, DecodeError> {
+    need(buf, 2)?;
+    Ok(buf.get_u16_le())
+}
+
+fn read_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn read_f32(buf: &mut Bytes) -> Result<f32, DecodeError> {
+    need(buf, 4)?;
+    Ok(buf.get_f32_le())
+}
+
+fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
+    let rank = read_u8(buf)? as usize;
+    if rank == 0 || rank > MAX_WIRE_RANK {
+        return Err(DecodeError::Malformed {
+            what: "tensor rank out of range",
+        });
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = read_u32(buf)? as usize;
+        len = len.checked_mul(d).ok_or(DecodeError::Malformed {
+            what: "tensor volume overflows",
+        })?;
+        dims.push(d);
+    }
+    // One up-front bound check keeps a lying dim field from turning into a
+    // multi-gigabyte allocation before the truncation is noticed.
+    need(buf, 4 * len)?;
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(read_f32(buf)?);
+    }
+    Ok(Tensor::from_vec(data, Shape::from(dims)))
+}
+
+/// Validates the 14-byte frame header and returns the payload as a fresh
+/// read cursor. `verify_crc` distinguishes `decode` from `decode_unchecked`.
+fn open_frame(mut bytes: Bytes, kind: u8, verify_crc: bool) -> Result<Bytes, DecodeError> {
+    need(&bytes, WIRE_HEADER_BYTES)?;
+    let magic_vec = bytes.copy_bytes(4);
+    let magic: [u8; 4] = [magic_vec[0], magic_vec[1], magic_vec[2], magic_vec[3]];
+    if magic != WIRE_MAGIC {
+        return Err(DecodeError::BadMagic { got: magic });
+    }
+    let version = bytes.get_u8();
+    if version != WIRE_VERSION {
+        return Err(DecodeError::UnsupportedVersion { got: version });
+    }
+    let got_kind = bytes.get_u8();
+    if got_kind != kind {
+        return Err(DecodeError::WrongKind {
+            expected: kind,
+            got: got_kind,
+        });
+    }
+    let declared = bytes.get_u32_le() as usize;
+    let crc_header = bytes.get_u32_le();
+    let payload = bytes.as_unread();
+    if declared != payload.len() {
+        return Err(DecodeError::LengthMismatch {
+            declared,
+            actual: payload.len(),
+        });
+    }
+    if verify_crc {
+        let computed = crc32(payload);
+        if computed != crc_header {
+            return Err(DecodeError::ChecksumMismatch {
+                declared: crc_header,
+                computed,
+            });
+        }
+    }
+    Ok(Bytes::copy_from_slice(payload))
+}
+
+/// Writes the frame header for a payload of the given bytes.
+fn seal_frame(kind: u8, payload: &BytesMut) -> Bytes {
+    let mut framed = BytesMut::with_capacity(WIRE_HEADER_BYTES + payload.len());
+    framed.put_slice(&WIRE_MAGIC);
+    framed.put_u8(WIRE_VERSION);
+    framed.put_u8(kind);
+    framed.put_u32_le(payload.len() as u32);
+    framed.put_u32_le(crc32(payload.as_ref()));
+    framed.put_slice(payload.as_ref());
+    framed.freeze()
 }
 
 impl ActivationMsg {
     /// Exact size of the encoded message in bytes (drives the simulated
     /// serialization delay and the communication-cost experiment).
     pub fn encoded_len(&self) -> usize {
-        HEADER_BYTES + tensor_encoded_len(&self.activations) + 4 + 2 * self.targets.len()
+        WIRE_HEADER_BYTES
+            + PAYLOAD_HEADER_BYTES
+            + tensor_encoded_len(&self.activations)
+            + 4
+            + 2 * self.targets.len()
     }
 
-    /// Serializes to a byte buffer.
+    /// Serializes to a framed, checksummed byte buffer.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let mut buf = BytesMut::with_capacity(self.encoded_len() - WIRE_HEADER_BYTES);
         buf.put_u32_le(self.from.0 as u32);
         buf.put_u32_le(self.batch_id.epoch);
         buf.put_u32_le(self.batch_id.batch);
@@ -92,62 +345,101 @@ impl ActivationMsg {
         for &t in &self.targets {
             buf.put_u16_le(t as u16);
         }
-        buf.freeze()
+        seal_frame(KIND_ACTIVATION, &buf)
     }
 
-    /// Deserializes a buffer produced by [`ActivationMsg::encode`].
+    /// Deserializes and fully validates a frame produced by
+    /// [`ActivationMsg::encode`], including the CRC32 payload checksum.
     ///
-    /// # Panics
+    /// Never panics: truncated, garbled or mis-typed input returns a
+    /// [`DecodeError`].
+    pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let payload = open_frame(bytes, KIND_ACTIVATION, true)?;
+        Self::parse_payload(payload)
+    }
+
+    /// Deserializes *without* verifying the checksum — the "guard off" path.
     ///
-    /// Panics on truncated input (messages travel on the in-process
-    /// simulator, not an untrusted network).
-    pub fn decode(mut bytes: Bytes) -> Self {
-        let from = EndSystemId(bytes.get_u32_le() as usize);
-        let epoch = bytes.get_u32_le();
-        let batch = bytes.get_u32_le();
-        let activations = get_tensor(&mut bytes);
-        let n = bytes.get_u32_le() as usize;
-        let targets = (0..n).map(|_| bytes.get_u16_le() as usize).collect();
-        ActivationMsg {
+    /// Structural validation still applies (magic, version, kind, declared
+    /// length, tensor shape), so this never panics either; it simply lets
+    /// bit-flipped-but-parseable payloads through as silently corrupt data.
+    pub fn decode_unchecked(bytes: Bytes) -> Result<Self, DecodeError> {
+        let payload = open_frame(bytes, KIND_ACTIVATION, false)?;
+        Self::parse_payload(payload)
+    }
+
+    fn parse_payload(mut buf: Bytes) -> Result<Self, DecodeError> {
+        let from = EndSystemId(read_u32(&mut buf)? as usize);
+        let epoch = read_u32(&mut buf)?;
+        let batch = read_u32(&mut buf)?;
+        let activations = get_tensor(&mut buf)?;
+        let n = read_u32(&mut buf)? as usize;
+        if buf.remaining() != 2 * n {
+            return Err(DecodeError::Malformed {
+                what: "target count disagrees with payload",
+            });
+        }
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            targets.push(read_u16(&mut buf)? as usize);
+        }
+        Ok(ActivationMsg {
             from,
             batch_id: BatchId { epoch, batch },
             activations,
             targets,
-        }
+        })
     }
 }
 
 impl GradientMsg {
     /// Exact size of the encoded message in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_BYTES + tensor_encoded_len(&self.grad)
+        WIRE_HEADER_BYTES + PAYLOAD_HEADER_BYTES + tensor_encoded_len(&self.grad)
     }
 
-    /// Serializes to a byte buffer.
+    /// Serializes to a framed, checksummed byte buffer.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        let mut buf = BytesMut::with_capacity(self.encoded_len() - WIRE_HEADER_BYTES);
         buf.put_u32_le(self.to.0 as u32);
         buf.put_u32_le(self.batch_id.epoch);
         buf.put_u32_le(self.batch_id.batch);
         put_tensor(&mut buf, &self.grad);
-        buf.freeze()
+        seal_frame(KIND_GRADIENT, &buf)
     }
 
-    /// Deserializes a buffer produced by [`GradientMsg::encode`].
+    /// Deserializes and fully validates a frame produced by
+    /// [`GradientMsg::encode`], including the CRC32 payload checksum.
     ///
-    /// # Panics
-    ///
-    /// Panics on truncated input.
-    pub fn decode(mut bytes: Bytes) -> Self {
-        let to = EndSystemId(bytes.get_u32_le() as usize);
-        let epoch = bytes.get_u32_le();
-        let batch = bytes.get_u32_le();
-        let grad = get_tensor(&mut bytes);
-        GradientMsg {
+    /// Never panics: truncated, garbled or mis-typed input returns a
+    /// [`DecodeError`].
+    pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
+        let payload = open_frame(bytes, KIND_GRADIENT, true)?;
+        Self::parse_payload(payload)
+    }
+
+    /// Deserializes *without* verifying the checksum — the "guard off" path.
+    /// See [`ActivationMsg::decode_unchecked`].
+    pub fn decode_unchecked(bytes: Bytes) -> Result<Self, DecodeError> {
+        let payload = open_frame(bytes, KIND_GRADIENT, false)?;
+        Self::parse_payload(payload)
+    }
+
+    fn parse_payload(mut buf: Bytes) -> Result<Self, DecodeError> {
+        let to = EndSystemId(read_u32(&mut buf)? as usize);
+        let epoch = read_u32(&mut buf)?;
+        let batch = read_u32(&mut buf)?;
+        let grad = get_tensor(&mut buf)?;
+        if buf.remaining() != 0 {
+            return Err(DecodeError::Malformed {
+                what: "trailing bytes after gradient",
+            });
+        }
+        Ok(GradientMsg {
             to,
             batch_id: BatchId { epoch, batch },
             grad,
-        }
+        })
     }
 }
 
@@ -156,9 +448,8 @@ mod tests {
     use super::*;
     use stsl_tensor::init::rng_from_seed;
 
-    #[test]
-    fn activation_roundtrip() {
-        let msg = ActivationMsg {
+    fn sample_activation() -> ActivationMsg {
+        ActivationMsg {
             from: EndSystemId(3),
             batch_id: BatchId {
                 epoch: 2,
@@ -166,10 +457,15 @@ mod tests {
             },
             activations: Tensor::randn([2, 4, 8, 8], &mut rng_from_seed(0)),
             targets: vec![1, 9],
-        };
+        }
+    }
+
+    #[test]
+    fn activation_roundtrip() {
+        let msg = sample_activation();
         let encoded = msg.encode();
         assert_eq!(encoded.len(), msg.encoded_len());
-        let back = ActivationMsg::decode(encoded);
+        let back = ActivationMsg::decode(encoded).expect("clean frame decodes");
         assert_eq!(back, msg);
     }
 
@@ -182,7 +478,109 @@ mod tests {
         };
         let encoded = msg.encode();
         assert_eq!(encoded.len(), msg.encoded_len());
-        assert_eq!(GradientMsg::decode(encoded), msg);
+        assert_eq!(
+            GradientMsg::decode(encoded).expect("clean frame decodes"),
+            msg
+        );
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_header_layout() {
+        let encoded = sample_activation().encode();
+        let raw = encoded.as_ref();
+        assert_eq!(&raw[0..4], b"STSL");
+        assert_eq!(raw[4], WIRE_VERSION);
+        assert_eq!(raw[5], KIND_ACTIVATION);
+        let declared = u32::from_le_bytes([raw[6], raw[7], raw[8], raw[9]]) as usize;
+        assert_eq!(declared, raw.len() - WIRE_HEADER_BYTES);
+        let crc = u32::from_le_bytes([raw[10], raw[11], raw[12], raw[13]]);
+        assert_eq!(crc, crc32(&raw[WIRE_HEADER_BYTES..]));
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_checksum() {
+        let msg = sample_activation();
+        for byte_idx in [
+            WIRE_HEADER_BYTES,
+            WIRE_HEADER_BYTES + 30,
+            WIRE_HEADER_BYTES + 100,
+        ] {
+            let mut raw = msg.encode().as_ref().to_vec();
+            raw[byte_idx] ^= 0x10;
+            let err = ActivationMsg::decode(Bytes::from_vec(raw)).unwrap_err();
+            assert!(
+                matches!(err, DecodeError::ChecksumMismatch { .. }),
+                "flip at {byte_idx} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let raw = sample_activation().encode().as_ref().to_vec();
+        for keep in [
+            0,
+            3,
+            WIRE_HEADER_BYTES - 1,
+            WIRE_HEADER_BYTES + 5,
+            raw.len() - 1,
+        ] {
+            let cut = raw[..keep].to_vec();
+            assert!(
+                ActivationMsg::decode(Bytes::from_vec(cut)).is_err(),
+                "keep={keep}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_and_bad_magic_rejected() {
+        let msg = sample_activation();
+        let encoded = msg.encode();
+        // An activation frame fed to the gradient decoder:
+        assert!(matches!(
+            GradientMsg::decode(encoded.clone()),
+            Err(DecodeError::WrongKind {
+                expected: KIND_GRADIENT,
+                got: KIND_ACTIVATION
+            })
+        ));
+        let mut raw = encoded.as_ref().to_vec();
+        raw[0] = b'X';
+        assert!(matches!(
+            ActivationMsg::decode(Bytes::from_vec(raw.clone())),
+            Err(DecodeError::BadMagic { .. })
+        ));
+        raw[0] = b'S';
+        raw[4] = 9;
+        assert!(matches!(
+            ActivationMsg::decode(Bytes::from_vec(raw)),
+            Err(DecodeError::UnsupportedVersion { got: 9 })
+        ));
+    }
+
+    #[test]
+    fn decode_unchecked_skips_crc_but_not_structure() {
+        let msg = sample_activation();
+        // Flip a data byte deep in the tensor payload: CRC decode rejects,
+        // unchecked decode lets the (numerically garbled) message through.
+        let mut raw = msg.encode().as_ref().to_vec();
+        let idx = raw.len() - 20;
+        raw[idx] ^= 0x40;
+        assert!(ActivationMsg::decode(Bytes::from_vec(raw.clone())).is_err());
+        let garbled = ActivationMsg::decode_unchecked(Bytes::from_vec(raw)).expect("parseable");
+        assert_eq!(garbled.from, msg.from);
+        assert_ne!(garbled, msg);
+        // Truncation stays an error on both paths.
+        let cut = msg.encode().as_ref()[..40].to_vec();
+        assert!(ActivationMsg::decode_unchecked(Bytes::from_vec(cut)).is_err());
     }
 
     #[test]

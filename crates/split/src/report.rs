@@ -34,6 +34,13 @@ pub struct EpochStats {
     pub train_accuracy: f32,
     /// Test accuracy after the epoch (mean over end-system encoders).
     pub test_accuracy: f32,
+    /// Updates the ingress guard rejected this epoch (non-finite or
+    /// norm-exploding activations).
+    #[serde(default)]
+    pub anomalies_rejected: u64,
+    /// Watchdog rollbacks triggered this epoch.
+    #[serde(default)]
+    pub rollbacks: u64,
 }
 
 /// Result of a synchronous spatio-temporal training run.
@@ -55,6 +62,12 @@ pub struct TrainReport {
     pub comm: CommReport,
     /// Wall-clock seconds the run took (host time, informational).
     pub wall_seconds: f64,
+    /// Total updates the ingress guard rejected across the run.
+    #[serde(default)]
+    pub anomalies_rejected: u64,
+    /// Total watchdog rollbacks across the run.
+    #[serde(default)]
+    pub rollbacks: u64,
 }
 
 impl TrainReport {
@@ -125,6 +138,30 @@ pub struct AsyncReport {
     /// Times the server's liveness tracker declared an end-system dead.
     #[serde(default)]
     pub dead_clients_detected: u64,
+    /// Messages whose payloads were garbled in flight by a corruption
+    /// fault.
+    #[serde(default)]
+    pub corrupted_payloads: u64,
+    /// Corrupted messages that were detected and discarded (all of them
+    /// with the integrity guard on; only the structurally unusable subset
+    /// with the guard off — the difference is silent poison).
+    #[serde(default)]
+    pub corrupted_rejected: u64,
+    /// Updates the ingress guard rejected (non-finite or norm-exploding).
+    #[serde(default)]
+    pub anomalies_rejected: u64,
+    /// Times an end-system was quarantined for repeated anomalies.
+    #[serde(default)]
+    pub quarantines: u64,
+    /// Updates dropped because their sender was quarantined.
+    #[serde(default)]
+    pub quarantine_drops: u64,
+    /// Probationary rejoins after quarantine.
+    #[serde(default)]
+    pub quarantine_releases: u64,
+    /// Watchdog rollbacks to an earlier checkpoint.
+    #[serde(default)]
+    pub rollbacks: u64,
     /// Communication totals.
     pub comm: CommReport,
 }
@@ -156,18 +193,24 @@ mod tests {
                     train_loss: 1.0,
                     train_accuracy: 0.3,
                     test_accuracy: 0.5,
+                    anomalies_rejected: 0,
+                    rollbacks: 0,
                 },
                 EpochStats {
                     epoch: 1,
                     train_loss: 0.8,
                     train_accuracy: 0.5,
                     test_accuracy: 0.7,
+                    anomalies_rejected: 0,
+                    rollbacks: 0,
                 },
             ],
             final_accuracy: 0.65,
             per_client_accuracy: vec![0.65],
             comm: CommReport::default(),
             wall_seconds: 0.0,
+            anomalies_rejected: 0,
+            rollbacks: 0,
         };
         assert_eq!(r.best_accuracy(), 0.7);
     }
@@ -197,6 +240,13 @@ mod tests {
             checkpoint_saves: 2,
             checkpoint_restores: 1,
             dead_clients_detected: 1,
+            corrupted_payloads: 0,
+            corrupted_rejected: 0,
+            anomalies_rejected: 0,
+            quarantines: 0,
+            quarantine_drops: 0,
+            quarantine_releases: 0,
+            rollbacks: 0,
             comm: CommReport::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
@@ -226,5 +276,8 @@ mod tests {
         assert_eq!(r.retransmits, 0);
         assert_eq!(r.batches_lost_per_client, Vec::<u64>::new());
         assert_eq!(r.crash_events, 0);
+        assert_eq!(r.corrupted_payloads, 0);
+        assert_eq!(r.quarantines, 0);
+        assert_eq!(r.rollbacks, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! The centralized server: upper layers, loss, and the single shared model
 //! trained on every end-system's smashed activations.
 
+use crate::guard::{validate_update, Anomaly, GuardConfig};
 use crate::protocol::{ActivationMsg, GradientMsg};
 use stsl_data::ImageDataset;
 use stsl_nn::loss::{Loss, SoftmaxCrossEntropy};
@@ -101,6 +102,35 @@ impl CentralServer {
             loss: out.value,
             batch_accuracy: hits as f32 / msg.targets.len().max(1) as f32,
         }
+    }
+
+    /// Like [`CentralServer::process`], but with ingress validation: the
+    /// incoming activations must be finite and within the guard's RMS
+    /// bound *before* they touch the model or optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Anomaly`] without mutating any server state — no
+    /// optimizer step, no counters, no loss history.
+    pub fn process_guarded(
+        &mut self,
+        msg: &ActivationMsg,
+        guard: &GuardConfig,
+    ) -> Result<ServerStepOutput, Anomaly> {
+        validate_update(&msg.activations, guard.max_activation_rms)?;
+        Ok(self.process(msg))
+    }
+
+    /// Current learning rate of the server optimizer.
+    pub fn learning_rate(&self) -> f32 {
+        self.opt.learning_rate()
+    }
+
+    /// Scales the server optimizer's learning rate (the watchdog's
+    /// post-rollback cooldown).
+    pub fn scale_learning_rate(&mut self, factor: f32) {
+        let lr = self.opt.learning_rate();
+        self.opt.set_learning_rate(lr * factor);
     }
 
     /// Inference through the upper layers only (activations already
@@ -212,6 +242,47 @@ mod tests {
             last = server.process(&msg).loss;
         }
         assert!(last < first * 0.8, "loss {} -> {}", first, last);
+    }
+
+    #[test]
+    fn guarded_process_rejects_poison_without_state_change() {
+        let (mut server, arch) = make_server(1);
+        let guard = GuardConfig::default();
+        let mut msg = activation_msg(&arch, 1, 4, 0);
+        let weights_before = server.model_mut().state_dict();
+
+        // NaN poison: rejected, nothing moves.
+        msg.activations.as_mut_slice()[3] = f32::NAN;
+        assert!(matches!(
+            server.process_guarded(&msg, &guard),
+            Err(crate::guard::Anomaly::NonFinite)
+        ));
+        assert_eq!(server.steps(), 0);
+        assert_eq!(server.mean_train_loss(), None);
+        assert_eq!(server.model_mut().state_dict(), weights_before);
+
+        // Norm explosion: rejected.
+        let mut huge = activation_msg(&arch, 1, 4, 0);
+        huge.activations.map_inplace(|_| 1e6);
+        assert!(matches!(
+            server.process_guarded(&huge, &guard),
+            Err(crate::guard::Anomaly::NormExplosion { .. })
+        ));
+        assert_eq!(server.steps(), 0);
+
+        // A healthy batch flows through identically to process().
+        let clean = activation_msg(&arch, 1, 4, 0);
+        let out = server.process_guarded(&clean, &guard).unwrap();
+        assert_eq!(out.gradient.grad.dims(), clean.activations.dims());
+        assert_eq!(server.steps(), 1);
+    }
+
+    #[test]
+    fn learning_rate_cooldown_scales() {
+        let (mut server, _) = make_server(1);
+        assert_eq!(server.learning_rate(), 0.05);
+        server.scale_learning_rate(0.5);
+        assert!((server.learning_rate() - 0.025).abs() < 1e-9);
     }
 
     #[test]

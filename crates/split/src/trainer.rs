@@ -6,8 +6,10 @@
 //! the shared upper model on *all* of them and returns cut-layer
 //! gradients. It reproduces Table I.
 
+use crate::checkpoint::CheckpointRing;
 use crate::client::EndSystem;
 use crate::config::SplitConfig;
+use crate::guard::{tensor_rms, GuardConfig, HealthWatchdog};
 use crate::protocol::{ActivationMsg, GradientMsg};
 use crate::report::{CommReport, EpochStats, TrainReport};
 use crate::server::CentralServer;
@@ -36,6 +38,11 @@ pub struct SpatioTemporalTrainer {
     server: CentralServer,
     clients: Vec<EndSystem>,
     comm: CommReport,
+    guard: Option<GuardConfig>,
+    watchdog: HealthWatchdog,
+    ring: CheckpointRing,
+    anomalies_rejected: u64,
+    rollbacks: u64,
 }
 
 impl SpatioTemporalTrainer {
@@ -84,7 +91,23 @@ impl SpatioTemporalTrainer {
             server,
             clients,
             comm: CommReport::default(),
+            guard: None,
+            watchdog: HealthWatchdog::new(&GuardConfig::default()),
+            ring: CheckpointRing::new(1),
+            anomalies_rejected: 0,
+            rollbacks: 0,
         })
+    }
+
+    /// Enables the data-plane integrity guard: incoming activations are
+    /// validated before they touch the shared model, and a training-health
+    /// watchdog rolls the deployment back to the last good checkpoint
+    /// (with a learning-rate cooldown) when loss or gradients diverge.
+    pub fn with_integrity_guard(mut self, guard: GuardConfig) -> Self {
+        self.watchdog = HealthWatchdog::new(&guard);
+        self.ring = CheckpointRing::new(guard.ring_capacity);
+        self.guard = Some(guard);
+        self
     }
 
     /// The configuration this trainer runs.
@@ -138,9 +161,15 @@ impl SpatioTemporalTrainer {
                     }
                 });
             // Phase 2 (serial server queue): process arrivals in
-            // end-system order, exactly as the serial loop did.
+            // end-system order, exactly as the serial loop did. With the
+            // integrity guard on, poisoned activations are rejected before
+            // they touch the shared model, and the health watchdog may
+            // roll the deployment back mid-round; either way the sender's
+            // batch is abandoned rather than answered.
+            let guard = self.guard;
             let mut grads: Vec<Option<GradientMsg>> = Vec::new();
-            for msg in &msgs {
+            let mut abandoned = vec![false; self.clients.len()];
+            for (i, msg) in msgs.iter().enumerate() {
                 let Some(msg) = msg else {
                     grads.push(None);
                     continue;
@@ -148,7 +177,30 @@ impl SpatioTemporalTrainer {
                 remaining = true;
                 self.comm.uplink_bytes += msg.encoded_len() as u64;
                 self.comm.uplink_messages += 1;
-                let out = self.server.process(msg);
+                let out = if let Some(g) = guard {
+                    match self.server.process_guarded(msg, &g) {
+                        Ok(out) => out,
+                        Err(_) => {
+                            self.anomalies_rejected += 1;
+                            abandoned[i] = true;
+                            grads.push(None);
+                            continue;
+                        }
+                    }
+                } else {
+                    self.server.process(msg)
+                };
+                if let Some(g) = guard {
+                    if self
+                        .watchdog
+                        .observe(out.loss, tensor_rms(&out.gradient.grad))
+                    {
+                        self.rollback(&g);
+                        abandoned[i] = true;
+                        grads.push(None);
+                        continue;
+                    }
+                }
                 self.comm.downlink_bytes += out.gradient.encoded_len() as u64;
                 self.comm.downlink_messages += 1;
                 loss.push(out.loss);
@@ -158,6 +210,10 @@ impl SpatioTemporalTrainer {
             // Phase 3 (fan-in): each end-system applies its own cut-layer
             // gradient to its private lower model, concurrently.
             let results = par_map_mut(&mut self.clients, fanout, |i, c| {
+                if abandoned[i] {
+                    c.abandon_outstanding();
+                    return None;
+                }
                 grads[i].as_ref().map(|g| c.apply_gradient(g))
             });
             for r in results.into_iter().flatten() {
@@ -187,6 +243,55 @@ impl SpatioTemporalTrainer {
         participating
     }
 
+    /// Rolls the deployment back to the newest checkpoint in the ring
+    /// (or just cools the learning rate when the ring is empty) and
+    /// resets the watchdog. Repeated divergences walk backward through
+    /// progressively older ring entries.
+    fn rollback(&mut self, guard: &GuardConfig) {
+        self.rollbacks += 1;
+        if let Some(ckpt) = self.ring.pop_latest() {
+            self.restore(&ckpt)
+                .expect("ring checkpoints come from this deployment");
+        }
+        self.server.scale_learning_rate(guard.lr_cooldown);
+        self.watchdog.reset();
+    }
+
+    /// Activations the ingress guard has rejected so far.
+    pub fn anomalies_rejected(&self) -> u64 {
+        self.anomalies_rejected
+    }
+
+    /// Watchdog rollbacks so far.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks
+    }
+
+    /// The ring of recent good checkpoints (populated only while the
+    /// integrity guard is on).
+    pub fn checkpoint_ring(&self) -> &CheckpointRing {
+        &self.ring
+    }
+
+    /// Installs `ring` (e.g. loaded from disk after a crash) and restores
+    /// the deployment from its newest entry, if any. Returns whether a
+    /// checkpoint was applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the newest entry was taken on a
+    /// deployment with a different end-system count.
+    pub fn resume_from_ring(&mut self, ring: CheckpointRing) -> Result<bool, ConfigError> {
+        let applied = if let Some(ckpt) = ring.latest() {
+            self.restore(ckpt)?;
+            true
+        } else {
+            false
+        };
+        self.ring = ring;
+        Ok(applied)
+    }
+
     /// Test accuracy per end-system encoder.
     pub fn evaluate_per_client(&mut self, test: &ImageDataset) -> Vec<f32> {
         let batch = self.config.batch_size.max(32);
@@ -210,8 +315,15 @@ impl SpatioTemporalTrainer {
     /// Runs the full configured training, evaluating after every epoch.
     pub fn train(&mut self, test: &ImageDataset) -> TrainReport {
         let start = std::time::Instant::now();
+        if self.guard.is_some() {
+            // Seed the rollback ring so the watchdog always has a target,
+            // even if training diverges during the first epoch.
+            let ckpt = self.checkpoint();
+            self.ring.push(ckpt);
+        }
         let mut epochs = Vec::with_capacity(self.config.epochs);
         for e in 0..self.config.epochs {
+            let (anomalies_before, rollbacks_before) = (self.anomalies_rejected, self.rollbacks);
             let (train_loss, train_accuracy) = self.run_epoch(e);
             let test_accuracy = self.evaluate(test);
             epochs.push(EpochStats {
@@ -219,7 +331,13 @@ impl SpatioTemporalTrainer {
                 train_loss,
                 train_accuracy,
                 test_accuracy,
+                anomalies_rejected: self.anomalies_rejected - anomalies_before,
+                rollbacks: self.rollbacks - rollbacks_before,
             });
+            if self.guard.is_some() && train_loss.is_finite() {
+                let ckpt = self.checkpoint();
+                self.ring.push(ckpt);
+            }
         }
         let per_client_accuracy = self.evaluate_per_client(test);
         let final_accuracy =
@@ -233,6 +351,8 @@ impl SpatioTemporalTrainer {
             per_client_accuracy,
             comm: self.comm,
             wall_seconds: start.elapsed().as_secs_f64(),
+            anomalies_rejected: self.anomalies_rejected,
+            rollbacks: self.rollbacks,
         }
     }
 

@@ -208,6 +208,8 @@ impl UShapedTrainer {
                 train_loss,
                 train_accuracy,
                 test_accuracy,
+                anomalies_rejected: 0,
+                rollbacks: 0,
             });
         }
         let per_client_accuracy: Vec<f32> = (0..self.clients.len())
@@ -224,6 +226,8 @@ impl UShapedTrainer {
             per_client_accuracy,
             comm: self.comm,
             wall_seconds: start.elapsed().as_secs_f64(),
+            anomalies_rejected: 0,
+            rollbacks: 0,
         }
     }
 

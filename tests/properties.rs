@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use spatio_temporal_split_learning::data::{Partition, SyntheticCifar};
 use spatio_temporal_split_learning::nn::Mode;
 use spatio_temporal_split_learning::simnet::EndSystemId;
-use spatio_temporal_split_learning::split::protocol::{ActivationMsg, BatchId, GradientMsg};
+use spatio_temporal_split_learning::split::protocol::{
+    ActivationMsg, BatchId, GradientMsg, WIRE_HEADER_BYTES,
+};
 use spatio_temporal_split_learning::split::{CnnArch, CutPoint};
 use spatio_temporal_split_learning::tensor::init::rng_from_seed;
 use spatio_temporal_split_learning::tensor::Tensor;
@@ -27,7 +29,7 @@ proptest! {
         };
         let encoded = msg.encode();
         prop_assert_eq!(encoded.len(), msg.encoded_len());
-        prop_assert_eq!(ActivationMsg::decode(encoded), msg);
+        prop_assert_eq!(ActivationMsg::decode(encoded), Ok(msg));
     }
 
     #[test]
@@ -42,7 +44,88 @@ proptest! {
         };
         let encoded = msg.encode();
         prop_assert_eq!(encoded.len(), msg.encoded_len());
-        prop_assert_eq!(GradientMsg::decode(encoded), msg);
+        prop_assert_eq!(GradientMsg::decode(encoded), Ok(msg));
+    }
+
+    /// A single bit flip anywhere in an activation frame must surface as a
+    /// typed error — never a panic, never a silently accepted frame.
+    #[test]
+    fn bit_flipped_activation_frames_always_err(
+        n in 1usize..4, c in 1usize..6, hw in 1usize..6,
+        seed in 0u64..1000, byte_frac in 0.0f64..1.0, bit in 0u8..8
+    ) {
+        let msg = ActivationMsg {
+            from: EndSystemId(1),
+            batch_id: BatchId { epoch: 1, batch: 2 },
+            activations: Tensor::randn([n, c, hw, hw], &mut rng_from_seed(seed)),
+            targets: (0..n).map(|i| i % 10).collect(),
+        };
+        let mut raw = msg.encode().as_ref().to_vec();
+        let idx = ((raw.len() - 1) as f64 * byte_frac) as usize;
+        raw[idx] ^= 1 << bit;
+        // Flipping a bit inside the stored CRC field itself leaves the
+        // payload intact, so the checksum (recomputed over the payload)
+        // no longer matches the header — still an error. Every other
+        // position corrupts payload or framing. Either way: Err.
+        prop_assert!(ActivationMsg::decode(raw.into()).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_gradient_frames_always_err(
+        dims in prop::collection::vec(1usize..6, 1..4),
+        seed in 0u64..1000, byte_frac in 0.0f64..1.0, bit in 0u8..8
+    ) {
+        let msg = GradientMsg {
+            to: EndSystemId(0),
+            batch_id: BatchId { epoch: 3, batch: 4 },
+            grad: Tensor::randn(dims, &mut rng_from_seed(seed)),
+        };
+        let mut raw = msg.encode().as_ref().to_vec();
+        let idx = ((raw.len() - 1) as f64 * byte_frac) as usize;
+        raw[idx] ^= 1 << bit;
+        prop_assert!(GradientMsg::decode(raw.into()).is_err());
+    }
+
+    /// Truncation at any prefix length — header, mid-tensor, last byte —
+    /// returns Err from both the checked and unchecked decoders.
+    #[test]
+    fn truncated_frames_never_panic(
+        n in 1usize..4, hw in 1usize..6, seed in 0u64..1000,
+        keep_frac in 0.0f64..1.0
+    ) {
+        let msg = ActivationMsg {
+            from: EndSystemId(2),
+            batch_id: BatchId { epoch: 0, batch: 7 },
+            activations: Tensor::randn([n, 2, hw, hw], &mut rng_from_seed(seed)),
+            targets: (0..n).map(|i| i % 10).collect(),
+        };
+        let raw = msg.encode().as_ref().to_vec();
+        let keep = ((raw.len() - 1) as f64 * keep_frac) as usize;
+        let cut = raw[..keep].to_vec();
+        prop_assert!(ActivationMsg::decode(cut.clone().into()).is_err());
+        prop_assert!(ActivationMsg::decode_unchecked(cut.into()).is_err());
+    }
+
+    /// Arbitrary byte soup — with or without a plausible-looking header —
+    /// must decode to Err on both message types without panicking.
+    #[test]
+    fn random_bytes_never_panic(
+        mut soup in prop::collection::vec(0u8..=255, 0..256),
+        with_header in 0u8..2
+    ) {
+        if with_header == 1 && soup.len() >= WIRE_HEADER_BYTES {
+            // Graft a valid-looking prefix so decoding reaches the
+            // payload parser instead of bailing at the magic check.
+            soup[0..4].copy_from_slice(b"STSL");
+            soup[4] = 1;
+            soup[5] = 0xA5;
+            let len = (soup.len() - WIRE_HEADER_BYTES) as u32;
+            soup[6..10].copy_from_slice(&len.to_le_bytes());
+        }
+        let _ = ActivationMsg::decode(soup.clone().into());
+        let _ = ActivationMsg::decode_unchecked(soup.clone().into());
+        let _ = GradientMsg::decode(soup.clone().into());
+        let _ = GradientMsg::decode_unchecked(soup.into());
     }
 
     #[test]
