@@ -1,0 +1,673 @@
+//! The audit engine: runs every rule over a set of source files and
+//! reconciles findings with inline suppression directives.
+//!
+//! The engine is pure — it takes `(path, text)` pairs and returns a report
+//! — so the fixture tests can present known-bad snippets under virtual
+//! in-scope paths without touching the real tree.
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::rules::{
+    in_r1_scope, in_r2_scope, in_r4_scope, R1_BANNED_IDENTS, R2_BANNED_MACROS, REPORT_FILE,
+    RULE_BAD_SUPPRESSION, RULE_COUNTER, RULE_DETERMINISM, RULE_FORBID_UNSAFE, RULE_IDS,
+    RULE_NO_PANIC, RULE_UNUSED_SUPPRESSION, TRACE_COUNTERS, TRACE_FILE,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One file to audit: a repo-relative `/`-separated path and its contents.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Repo-relative path, e.g. `crates/split/src/guard.rs`.
+    pub path: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`determinism`, `no-panic`, …).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A suppression directive that silenced at least one finding.
+#[derive(Debug, Clone)]
+pub struct UsedSuppression {
+    /// File the directive lives in.
+    pub path: String,
+    /// Line of the directive comment.
+    pub line: usize,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// The mandatory human justification.
+    pub reason: String,
+    /// Findings it silenced.
+    pub count: usize,
+}
+
+/// The audit result: surviving findings plus the suppression ledger.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Unsuppressed findings, sorted by path/line/rule. Non-empty means a
+    /// nonzero exit.
+    pub findings: Vec<Finding>,
+    /// Suppressions that silenced at least one finding.
+    pub suppressions: Vec<UsedSuppression>,
+    /// Files the engine looked at.
+    pub files_scanned: usize,
+}
+
+/// A parsed `// stsl-audit: allow(rule, reason = "…")` directive.
+#[derive(Debug)]
+struct Directive {
+    path: String,
+    line: usize,
+    target_line: usize,
+    rule: String,
+    reason: String,
+    used: usize,
+}
+
+/// Cross-file state for the counter-accounting rule.
+#[derive(Debug, Default)]
+struct CounterState {
+    /// `TraceKind` variants with the line each is declared on.
+    variants: Vec<(String, usize)>,
+    /// Line of the `enum TraceKind` declaration.
+    trace_enum_line: usize,
+    /// Fields of `AsyncReport` and `CommReport` with declaration lines.
+    counter_fields: BTreeMap<String, usize>,
+    /// Line of the `struct AsyncReport` declaration.
+    async_report_line: usize,
+    /// Whether both input files were present.
+    saw_trace: bool,
+    saw_report: bool,
+    /// `TraceKind::X` references seen in non-test code anywhere.
+    emitted: BTreeSet<String>,
+    /// Identifiers referenced in non-test code outside `report.rs`.
+    used_idents: BTreeSet<String>,
+}
+
+/// Runs the full rule set over `files` and reconciles suppressions.
+pub fn audit(files: &[SourceFile]) -> AuditReport {
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut counters = CounterState::default();
+
+    for file in files {
+        let lexed = lex(&file.text);
+        let excluded = excluded_spans(&lexed.tokens);
+        let is_excluded = |line: usize| excluded.iter().any(|&(a, b)| line >= a && line <= b);
+        let token_lines: BTreeSet<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+
+        parse_directives(
+            file,
+            &lexed.comments,
+            &token_lines,
+            &mut directives,
+            &mut raw,
+        );
+
+        if in_r1_scope(&file.path) {
+            scan_r1(file, &lexed.tokens, &is_excluded, &mut raw);
+        }
+        if in_r2_scope(&file.path) {
+            scan_r2(file, &lexed.tokens, &is_excluded, &mut raw);
+        }
+        if in_r4_scope(&file.path) {
+            scan_r4(file, &lexed.tokens, &mut raw);
+        }
+        collect_counter_state(file, &lexed.tokens, &is_excluded, &mut counters);
+    }
+
+    check_counters(&counters, &mut raw);
+
+    // Reconcile findings with directives.
+    let mut findings = Vec::new();
+    for f in raw {
+        let slot = directives.iter_mut().find(|d| {
+            d.path == f.path
+                && d.target_line == f.line
+                && d.rule == f.rule
+                && f.rule != RULE_BAD_SUPPRESSION
+                && f.rule != RULE_UNUSED_SUPPRESSION
+        });
+        match slot {
+            Some(d) => d.used += 1,
+            None => findings.push(f),
+        }
+    }
+    for d in &directives {
+        if d.used == 0 && RULE_IDS.contains(&d.rule.as_str()) {
+            findings.push(Finding {
+                path: d.path.clone(),
+                line: d.line,
+                rule: RULE_UNUSED_SUPPRESSION,
+                message: format!(
+                    "allow({}) suppressed nothing; remove it or fix the target line",
+                    d.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    let suppressions = directives
+        .into_iter()
+        .filter(|d| d.used > 0)
+        .map(|d| UsedSuppression {
+            path: d.path,
+            line: d.line,
+            rule: d.rule,
+            reason: d.reason,
+            count: d.used,
+        })
+        .collect();
+
+    AuditReport {
+        findings,
+        suppressions,
+        files_scanned: files.len(),
+    }
+}
+
+/// Parses suppression directives out of line comments. A directive on a
+/// line that carries code applies to that line; a directive on a line of
+/// its own applies to the next line that carries code.
+fn parse_directives(
+    file: &SourceFile,
+    comments: &[Comment],
+    token_lines: &BTreeSet<usize>,
+    directives: &mut Vec<Directive>,
+    findings: &mut Vec<Finding>,
+) {
+    for c in comments {
+        // Doc comments (`///` or `//!`) only *document* the directive
+        // syntax; a live directive must be a plain `//` comment.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(idx) = c.text.find("stsl-audit:") else {
+            continue;
+        };
+        let rest = c.text[idx + "stsl-audit:".len()..].trim();
+        let parsed = parse_allow(rest);
+        match parsed {
+            Some((rule, reason)) if RULE_IDS.contains(&rule.as_str()) => {
+                let target_line = if token_lines.contains(&c.line) {
+                    c.line
+                } else {
+                    token_lines
+                        .range(c.line + 1..)
+                        .next()
+                        .copied()
+                        .unwrap_or(c.line)
+                };
+                directives.push(Directive {
+                    path: file.path.clone(),
+                    line: c.line,
+                    target_line,
+                    rule,
+                    reason,
+                    used: 0,
+                });
+            }
+            Some((rule, _)) => findings.push(Finding {
+                path: file.path.clone(),
+                line: c.line,
+                rule: RULE_BAD_SUPPRESSION,
+                message: format!("allow() names unknown rule `{rule}`"),
+            }),
+            None => findings.push(Finding {
+                path: file.path.clone(),
+                line: c.line,
+                rule: RULE_BAD_SUPPRESSION,
+                message: "malformed directive; expected \
+                          `stsl-audit: allow(<rule>, reason = \"…\")`"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses `allow(<rule>, reason = "<nonempty>")`. Returns `None` on any
+/// syntax problem, including a missing or empty reason.
+fn parse_allow(s: &str) -> Option<(String, String)> {
+    let s = s.strip_prefix("allow(")?;
+    let comma = s.find(',')?;
+    let rule = s[..comma].trim().to_string();
+    let rest = s[comma + 1..].trim();
+    let rest = rest.strip_prefix("reason")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let close = rest.find('"')?;
+    let reason = rest[..close].trim().to_string();
+    if rule.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some((rule, reason))
+}
+
+/// R1: bans host-clock, unseeded-RNG, raw-thread and hash-iteration
+/// constructs in the deterministic crates.
+fn scan_r1(
+    file: &SourceFile,
+    tokens: &[Tok],
+    is_excluded: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if is_excluded(t.line) {
+            continue;
+        }
+        if let Some(name) = t.ident() {
+            for (banned, msg) in &R1_BANNED_IDENTS {
+                if name == *banned {
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: t.line,
+                        rule: RULE_DETERMINISM,
+                        message: (*msg).to_string(),
+                    });
+                }
+            }
+            if name == "SystemTime" {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_DETERMINISM,
+                    message: "SystemTime reads the host clock; simulated time must come \
+                              from the simnet virtual clock"
+                        .to_string(),
+                });
+            }
+            if name == "Instant" && path_call(tokens, i, "now") {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_DETERMINISM,
+                    message: "Instant::now() reads the host clock; use the simnet virtual \
+                              clock (informational wall-time goes through WallTimer)"
+                        .to_string(),
+                });
+            }
+            if name == "thread" && path_call(tokens, i, "spawn") {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_DETERMINISM,
+                    message: "raw thread::spawn bypasses the deterministic scoped pool; \
+                              thread only via stsl-parallel"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Whether tokens `i..` spell `<ident> :: <method>`.
+fn path_call(tokens: &[Tok], i: usize, method: &str) -> bool {
+    matches!(
+        (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3)),
+        (Some(a), Some(b), Some(c))
+            if a.is_punct(':') && b.is_punct(':') && c.is_ident(method)
+    )
+}
+
+/// R2: bans panicking constructs in the untrusted-input files.
+fn scan_r2(
+    file: &SourceFile,
+    tokens: &[Tok],
+    is_excluded: &dyn Fn(usize) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if is_excluded(t.line) {
+            continue;
+        }
+        let next_is = |c: char| matches!(tokens.get(i + 1), Some(n) if n.is_punct(c));
+        if let Some(name) = t.ident() {
+            if (name == "unwrap" || name == "expect") && next_is('(') {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_NO_PANIC,
+                    message: format!(
+                        "`{name}()` can abort on untrusted input; propagate the typed \
+                         error (DecodeError/CifarError/io::Error) instead"
+                    ),
+                });
+            }
+            if R2_BANNED_MACROS.contains(&name) && next_is('!') {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_NO_PANIC,
+                    message: format!(
+                        "`{name}!` aborts the server; untrusted bytes must surface as a \
+                         typed error"
+                    ),
+                });
+            }
+        }
+        // Index expressions: a `[` directly after an ident, `)` or `]`.
+        if t.is_punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexing =
+                matches!(prev.kind, TokKind::Ident(_)) || prev.is_punct(')') || prev.is_punct(']');
+            if indexing {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: t.line,
+                    rule: RULE_NO_PANIC,
+                    message: "slice/array indexing can panic on out-of-range input; use \
+                              .get()/.split_first()/try_into()"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// R4: the crate root must declare `#![forbid(unsafe_code)]`.
+fn scan_r4(file: &SourceFile, tokens: &[Tok], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i + 4 < tokens.len() {
+        if tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('!')
+            && tokens[i + 2].is_punct('[')
+            && tokens[i + 3].is_ident("forbid")
+            && tokens[i + 4].is_punct('(')
+        {
+            let mut j = i + 5;
+            while j < tokens.len() && !tokens[j].is_punct(')') {
+                if tokens[j].is_ident("unsafe_code") {
+                    return;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    let line = tokens.first().map_or(1, |t| t.line);
+    findings.push(Finding {
+        path: file.path.clone(),
+        line,
+        rule: RULE_FORBID_UNSAFE,
+        message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+    });
+}
+
+/// Gathers the R3 inputs from one file.
+fn collect_counter_state(
+    file: &SourceFile,
+    tokens: &[Tok],
+    is_excluded: &dyn Fn(usize) -> bool,
+    state: &mut CounterState,
+) {
+    if file.path == TRACE_FILE {
+        if let Some((line, variants)) = parse_enum(tokens, "TraceKind") {
+            state.saw_trace = true;
+            state.trace_enum_line = line;
+            state.variants = variants;
+        }
+    }
+    if file.path == REPORT_FILE {
+        let mut fields = BTreeMap::new();
+        for name in ["AsyncReport", "CommReport"] {
+            if let Some((line, parsed)) = parse_struct_fields(tokens, name) {
+                if name == "AsyncReport" {
+                    state.saw_report = true;
+                    state.async_report_line = line;
+                }
+                for (f, l) in parsed {
+                    fields.entry(f).or_insert(l);
+                }
+            }
+        }
+        state.counter_fields = fields;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if is_excluded(t.line) {
+            continue;
+        }
+        if t.is_ident("TraceKind") {
+            if let (Some(a), Some(b), Some(c)) =
+                (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+            {
+                if a.is_punct(':') && b.is_punct(':') {
+                    if let Some(v) = c.ident() {
+                        state.emitted.insert(v.to_string());
+                    }
+                }
+            }
+        }
+        if file.path != REPORT_FILE {
+            if let Some(name) = t.ident() {
+                state.used_idents.insert(name.to_string());
+            }
+        }
+    }
+}
+
+/// R3: every `TraceKind` variant maps to a report counter, and both sides
+/// are live in non-test code.
+fn check_counters(state: &CounterState, findings: &mut Vec<Finding>) {
+    if !state.saw_trace || !state.saw_report {
+        return;
+    }
+    let mapping: BTreeMap<&str, &str> = TRACE_COUNTERS.iter().copied().collect();
+    for (variant, line) in &state.variants {
+        let Some(counter) = mapping.get(variant.as_str()) else {
+            findings.push(Finding {
+                path: TRACE_FILE.to_string(),
+                line: *line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "TraceKind::{variant} has no counter mapping; add a report counter \
+                     and map it in stsl-audit rules.rs TRACE_COUNTERS"
+                ),
+            });
+            continue;
+        };
+        match state.counter_fields.get(*counter) {
+            None => findings.push(Finding {
+                path: REPORT_FILE.to_string(),
+                line: state.async_report_line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "TraceKind::{variant} maps to counter `{counter}`, which is missing \
+                     from AsyncReport/CommReport"
+                ),
+            }),
+            Some(field_line) => {
+                if !state.used_idents.contains(*counter) {
+                    findings.push(Finding {
+                        path: REPORT_FILE.to_string(),
+                        line: *field_line,
+                        rule: RULE_COUNTER,
+                        message: format!(
+                            "counter `{counter}` is declared but never referenced \
+                             outside report.rs; TraceKind::{variant} is unaccounted"
+                        ),
+                    });
+                }
+            }
+        }
+        if !state.emitted.contains(variant) {
+            findings.push(Finding {
+                path: TRACE_FILE.to_string(),
+                line: *line,
+                rule: RULE_COUNTER,
+                message: format!("TraceKind::{variant} is never recorded in non-test code"),
+            });
+        }
+    }
+    // Stale table entries point at variants that no longer exist.
+    let variant_names: BTreeSet<&str> = state.variants.iter().map(|(v, _)| v.as_str()).collect();
+    for (variant, _) in &TRACE_COUNTERS {
+        if !variant_names.contains(variant) {
+            findings.push(Finding {
+                path: TRACE_FILE.to_string(),
+                line: state.trace_enum_line,
+                rule: RULE_COUNTER,
+                message: format!(
+                    "stsl-audit TRACE_COUNTERS maps `{variant}`, which is not a \
+                     TraceKind variant; remove the stale table entry"
+                ),
+            });
+        }
+    }
+}
+
+/// Finds `enum <name> {…}` and returns its line plus `(variant, line)`s.
+fn parse_enum(tokens: &[Tok], name: &str) -> Option<(usize, Vec<(String, usize)>)> {
+    let start = find_item(tokens, "enum", name)?;
+    let open = (start..tokens.len()).find(|&i| tokens[i].is_punct('{'))?;
+    let mut variants = Vec::new();
+    let mut depth = 1usize;
+    let mut expecting = true;
+    let mut i = open + 1;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        match &t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Punct(',') if depth == 1 => expecting = true,
+            TokKind::Ident(v) if depth == 1 && expecting => {
+                variants.push((v.clone(), t.line));
+                expecting = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((tokens[start].line, variants))
+}
+
+/// Finds `struct <name> {…}` and returns its line plus `(field, line)`s.
+fn parse_struct_fields(tokens: &[Tok], name: &str) -> Option<(usize, Vec<(String, usize)>)> {
+    let start = find_item(tokens, "struct", name)?;
+    let open = (start..tokens.len()).find(|&i| tokens[i].is_punct('{'))?;
+    let mut fields = Vec::new();
+    let mut depth = 1usize;
+    let mut i = open + 1;
+    while i < tokens.len() && depth > 0 {
+        let t = &tokens[i];
+        match &t.kind {
+            TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => depth -= 1,
+            TokKind::Ident(f) if depth == 1 && f != "pub" => {
+                // A field is `ident :` not followed by another `:` (which
+                // would make it a path segment) and not preceded by one.
+                let next_colon = matches!(tokens.get(i + 1), Some(n) if n.is_punct(':'));
+                let double = matches!(tokens.get(i + 2), Some(n) if n.is_punct(':'));
+                let prev_colon = i > 0 && tokens[i - 1].is_punct(':');
+                if next_colon && !double && !prev_colon {
+                    fields.push((f.clone(), t.line));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((tokens[start].line, fields))
+}
+
+/// Index of the `kw` token of `kw name` (e.g. `struct AsyncReport`).
+fn find_item(tokens: &[Tok], kw: &str, name: &str) -> Option<usize> {
+    (0..tokens.len().saturating_sub(1))
+        .find(|&i| tokens[i].is_ident(kw) && tokens[i + 1].is_ident(name))
+}
+
+/// Line spans covered by `#[cfg(test)]` / `#[test]` items — rule-exempt.
+fn excluded_spans(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && matches!(tokens.get(i + 1), Some(t) if t.is_punct('[')) {
+            let attr_line = tokens[i].line;
+            let (idents, mut j) = parse_bracketed(tokens, i + 1);
+            let is_test = idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not");
+            if !is_test {
+                i = j;
+                continue;
+            }
+            // Skip any further attributes on the same item.
+            while j < tokens.len()
+                && tokens[j].is_punct('#')
+                && matches!(tokens.get(j + 1), Some(t) if t.is_punct('['))
+            {
+                j = parse_bracketed(tokens, j + 1).1;
+            }
+            // Consume the item: to `;` at depth 0 or the matching `}`.
+            let mut depth = 0usize;
+            let mut end_line = attr_line;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                end_line = t.line;
+                match &t.kind {
+                    TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => {
+                        depth += 1;
+                    }
+                    TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 && t.is_punct('}') {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    TokKind::Punct(';') if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            spans.push((attr_line, end_line));
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Parses one `[…]` group starting at `open` (which must be `[`). Returns
+/// the identifiers inside and the index just past the closing `]`.
+fn parse_bracketed(tokens: &[Tok], open: usize) -> (Vec<String>, usize) {
+    let mut idents = Vec::new();
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokKind::Punct('[') | TokKind::Punct('(') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(']') | TokKind::Punct(')') | TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return (idents, i + 1);
+                }
+            }
+            TokKind::Ident(s) => idents.push(s.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    (idents, i)
+}

@@ -1,0 +1,403 @@
+//! A minimal Rust lexer: just enough tokenization to run lint rules
+//! without a full parser.
+//!
+//! The workspace is offline (no `syn`), so the auditor scans a real token
+//! stream instead of an AST. The lexer understands everything that could
+//! make a naive substring search lie: line and nested block comments,
+//! string/raw-string/byte-string/char literals, lifetimes, and numeric
+//! literals. Comments are kept (with line numbers) because suppression
+//! directives live in them; literals are dropped to a placeholder token so
+//! a string containing `"unwrap("` can never trigger a rule.
+
+/// What a token is, to the precision the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword; the text is preserved.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// Any literal (number, string, char). Contents are irrelevant to the
+    /// rules, so they are not preserved.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class and (for identifiers) text.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One `//` comment with its 1-based line (suppressions live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Text after the `//` (including any further `/` or `!`).
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus all line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs simply consume
+/// the rest of the input, which is the forgiving behaviour a linter wants.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Advances past `n` chars, counting newlines.
+    macro_rules! bump {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    macro_rules! peek {
+        ($k:expr) => {
+            bytes.get(i + $k).copied()
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+
+        if c == '\n' || c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also doc comments /// and //!).
+        if c == '/' && peek!(1) == Some('/') {
+            let start_line = line;
+            let mut text = String::new();
+            bump!(2);
+            while i < bytes.len() && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && peek!(1) == Some('*') {
+            bump!(2);
+            let mut depth = 1usize;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && peek!(1) == Some('*') {
+                    depth += 1;
+                    bump!(2);
+                } else if bytes[i] == '*' && peek!(1) == Some('/') {
+                    depth -= 1;
+                    bump!(2);
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+
+        // String-ish literal prefixes: "…", r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if c == '"' {
+            let start_line = line;
+            bump!(1);
+            consume_string_body(&bytes, &mut i, &mut line);
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+        if c == 'r' || c == 'b' {
+            // Look ahead for a literal prefix before falling back to ident.
+            let mut j = i + 1;
+            if c == 'b' && peek!(1) == Some('r') {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // `r` / `br` prefixes mean a raw body (no escapes); a bare `b`
+            // prefix is an escaped byte string.
+            let raw = c == 'r' || peek!(1) == Some('r');
+            if bytes.get(j) == Some(&'"') {
+                let start_line = line;
+                bump!(j + 1 - i); // prefix, hashes and opening quote
+                if raw {
+                    consume_raw_string_body(&bytes, &mut i, &mut line, hashes);
+                } else {
+                    consume_string_body(&bytes, &mut i, &mut line);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: start_line,
+                });
+                continue;
+            }
+            if c == 'b' && peek!(1) == Some('\'') {
+                let start_line = line;
+                bump!(2);
+                consume_char_body(&bytes, &mut i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: start_line,
+                });
+                continue;
+            }
+            // Not a literal prefix: fall through to the identifier path.
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let start_line = line;
+            let is_lifetime = matches!(peek!(1), Some(n) if n.is_alphabetic() || n == '_')
+                && peek!(2) != Some('\'');
+            bump!(1);
+            if is_lifetime {
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    bump!(1);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    line: start_line,
+                });
+            } else {
+                consume_char_body(&bytes, &mut i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line: start_line,
+                });
+            }
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let start_line = line;
+            let mut text = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident(text),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numeric literal. A `.` is consumed only when it begins a fraction
+        // (`1.5`), never a range (`0..8`).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            while i < bytes.len() {
+                let d = bytes[i];
+                let fraction_dot =
+                    d == '.' && matches!(bytes.get(i + 1), Some(n) if n.is_ascii_digit());
+                if d.is_alphanumeric() || d == '_' || fraction_dot {
+                    bump!(1);
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Literal,
+                line: start_line,
+            });
+            continue;
+        }
+
+        out.tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        bump!(1);
+    }
+    out
+}
+
+fn consume_string_body(bytes: &[char], i: &mut usize, line: &mut usize) {
+    while *i < bytes.len() {
+        let c = bytes[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '\\' {
+            *i += 1;
+            if *i < bytes.len() {
+                if bytes[*i] == '\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+            continue;
+        }
+        *i += 1;
+        if c == '"' {
+            return;
+        }
+    }
+}
+
+fn consume_raw_string_body(bytes: &[char], i: &mut usize, line: &mut usize, hashes: usize) {
+    while *i < bytes.len() {
+        let c = bytes[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if bytes.get(*i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn consume_char_body(bytes: &[char], i: &mut usize, line: &mut usize) {
+    // Opening quote already consumed; read to the closing quote.
+    while *i < bytes.len() {
+        let c = bytes[*i];
+        if c == '\n' {
+            *line += 1;
+        }
+        if c == '\\' {
+            *i += 1;
+            if *i < bytes.len() {
+                *i += 1;
+            }
+            continue;
+        }
+        *i += 1;
+        if c == '\'' {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            // unwrap( in a comment
+            /* HashMap in a /* nested */ block */
+            let s = "unwrap(Instant::now)";
+            let r = r#"thread_rng"#;
+            let b = b"panic!";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "unwrap"));
+        assert!(!ids.iter().any(|s| s == "HashMap"));
+        assert!(!ids.iter().any(|s| s == "thread_rng"));
+        assert!(ids.iter().any(|s| s == "let"));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// stsl-audit: allow(x, reason = \"y\")\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("stsl-audit"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn ranges_are_not_swallowed_by_numbers() {
+        let lexed = lex("for i in 0..8 { let x = 1.5; }");
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..8 keeps both range dots");
+    }
+
+    #[test]
+    fn lines_track_through_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet b = 3;";
+        let lexed = lex(src);
+        let b_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("b token");
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! `stsl-audit` — the workspace invariant linter.
+//!
+//! The repo's headline guarantees (bitwise serial/parallel equivalence,
+//! panic-free decode of hostile wire bytes, exact retransmit/drop
+//! accounting) are dynamic properties that a single stray `HashMap`
+//! iteration, `thread_rng()` or `unwrap()` silently re-breaks. This crate
+//! enforces them *statically*: it lexes every `.rs` file in the workspace
+//! (no `syn` — the build environment is offline, so the scanner is a
+//! purpose-built token lexer) and applies four rules:
+//!
+//! - **R1 `determinism`** — no `HashMap`/`HashSet`, `Instant::now`,
+//!   `SystemTime`, `thread_rng` or raw `thread::spawn` in the
+//!   deterministic crates (`tensor`, `nn`, `split`, `simnet`).
+//! - **R2 `no-panic`** — no `unwrap`/`expect`/panicking macros/slice
+//!   indexing in the files that parse untrusted wire or disk bytes.
+//! - **R3 `counter-accounting`** — every `TraceKind` variant maps to a
+//!   live `AsyncReport`/`CommReport` counter and both sides are emitted.
+//! - **R4 `forbid-unsafe`** — every crate root declares
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Suppressions are inline comments the tool counts and reports:
+//!
+//! ```text
+//! // stsl-audit: allow(determinism, reason = "wall-clock is informational")
+//! ```
+//!
+//! Run it with `cargo run -p stsl-audit`; exit code is nonzero on any
+//! unsuppressed finding. See DESIGN.md §9 for the rule table and how to
+//! add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod lexer;
+pub mod rules;
+
+pub use engine::{audit, AuditReport, Finding, SourceFile, UsedSuppression};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects the audited sources of the workspace rooted at `root`:
+/// `src/**/*.rs` plus `crates/*/src/**/*.rs`, in deterministic (sorted)
+/// order, with repo-relative `/`-separated paths.
+///
+/// `shims/` is deliberately excluded: the shims are API-compatible
+/// stand-ins for external crates, not project code. Test fixtures under
+/// `crates/audit/tests/` are never reached because only `src/` trees are
+/// walked.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (an unreadable tree should fail the audit
+/// loudly, not pass it silently).
+pub fn collect_workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        walk_rs(&src, root, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            let member_src = member.join("src");
+            if member_src.is_dir() {
+                walk_rs(&member_src, root, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel_str = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                path: rel_str,
+                text: std::fs::read_to_string(&path)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory containing both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! CLI entry point: audits the workspace this binary was built from.
+//!
+//! ```text
+//! cargo run -p stsl-audit            # audit the workspace
+//! cargo run -p stsl-audit -- <dir>   # audit another checkout
+//! ```
+//!
+//! Exit status: 0 when every finding is suppressed (suppressions are
+//! printed and counted), 1 on any unsuppressed finding, 2 on usage or
+//! I/O errors.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use stsl_audit::{audit, collect_workspace_sources, find_workspace_root};
+
+fn main() -> ExitCode {
+    let root = match root_dir() {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("stsl-audit: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let files = match collect_workspace_sources(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "stsl-audit: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if files.is_empty() {
+        eprintln!("stsl-audit: no sources found under {}", root.display());
+        return ExitCode::from(2);
+    }
+
+    let report = audit(&files);
+    for f in &report.findings {
+        println!("{f}");
+    }
+    if !report.suppressions.is_empty() {
+        println!("suppressions in effect ({}):", report.suppressions.len());
+        for s in &report.suppressions {
+            println!(
+                "  {}:{}: allow({}) x{} — {}",
+                s.path, s.line, s.rule, s.count, s.reason
+            );
+        }
+    }
+    println!(
+        "stsl-audit: {} file(s), {} finding(s), {} suppression(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressions.len()
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The directory to audit: the CLI argument if given, else the workspace
+/// that built this binary, else the current directory's workspace.
+fn root_dir() -> Result<PathBuf, String> {
+    let mut args = std::env::args_os().skip(1);
+    if let Some(arg) = args.next() {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            return Ok(path);
+        }
+        return Err(format!("not a directory: {}", path.display()));
+    }
+    let start = match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::current_dir().map_err(|e| e.to_string())?,
+    };
+    find_workspace_root(&start)
+        .ok_or_else(|| "could not locate the workspace root (no Cargo.toml with crates/)".into())
+}

@@ -1,0 +1,162 @@
+//! The rule set: identifiers, scopes and the trace/counter contract.
+//!
+//! Rules are numbered after the invariants they defend (see DESIGN.md §9):
+//!
+//! | id                   | invariant                                        |
+//! |----------------------|--------------------------------------------------|
+//! | `determinism`        | R1 — bitwise serial/parallel + seeded replay     |
+//! | `no-panic`           | R2 — hostile wire/disk bytes never abort         |
+//! | `counter-accounting` | R3 — every `TraceKind` has a live counter        |
+//! | `forbid-unsafe`      | R4 — `#![forbid(unsafe_code)]` in every crate    |
+//!
+//! Two meta-rules police the suppression mechanism itself:
+//! `bad-suppression` (malformed `allow` directive) and `unused-suppression`
+//! (an `allow` that silenced nothing).
+
+/// Rule id for R1 (determinism).
+pub const RULE_DETERMINISM: &str = "determinism";
+/// Rule id for R2 (panic-freedom on untrusted input).
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// Rule id for R3 (trace/counter accounting).
+pub const RULE_COUNTER: &str = "counter-accounting";
+/// Rule id for R4 (unsafe ban).
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Meta-rule: a suppression directive that could not be parsed.
+pub const RULE_BAD_SUPPRESSION: &str = "bad-suppression";
+/// Meta-rule: a suppression directive that silenced no finding.
+pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
+
+/// All real (non-meta) rule ids, for directive validation.
+pub const RULE_IDS: [&str; 4] = [
+    RULE_DETERMINISM,
+    RULE_NO_PANIC,
+    RULE_COUNTER,
+    RULE_FORBID_UNSAFE,
+];
+
+/// Crates whose `src/` trees must be deterministic (R1): no host clock,
+/// no unseeded RNG, no raw threads, no hash-order iteration. `stsl-parallel`
+/// is deliberately absent — it is the sanctioned threading layer.
+pub const R1_CRATE_DIRS: [&str; 4] = [
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/split/src/",
+    "crates/simnet/src/",
+];
+
+/// Files that parse untrusted wire or on-disk bytes (R2): no `unwrap`,
+/// `expect`, panicking macro or slice indexing outside test code.
+pub const R2_FILES: [&str; 4] = [
+    "crates/split/src/protocol.rs",
+    "crates/split/src/guard.rs",
+    "crates/split/src/checkpoint.rs",
+    "crates/data/src/cifar.rs",
+];
+
+/// Where the `TraceKind` enum lives (R3 input).
+pub const TRACE_FILE: &str = "crates/simnet/src/trace.rs";
+/// Where the report structs with the counters live (R3 input).
+pub const REPORT_FILE: &str = "crates/split/src/report.rs";
+
+/// The accounting contract: every `TraceKind` variant and the report field
+/// that must count it. A variant missing from this table, a mapped field
+/// missing from `report.rs`, or either side never referenced in non-test
+/// code is a `counter-accounting` finding — adding a trace kind forces the
+/// author to add (and emit) its counter, or extend this table in the same
+/// PR, where a reviewer sees both sides.
+pub const TRACE_COUNTERS: [(&str, &str); 18] = [
+    ("Arrival", "uplink_messages"),
+    ("ServiceStart", "served_per_client"),
+    ("GradientDelivered", "downlink_messages"),
+    ("SchedulerDrop", "scheduler_drops"),
+    ("NetworkDrop", "network_drops"),
+    ("Retransmit", "retransmits"),
+    ("RetryExhausted", "retry_exhausted"),
+    ("ClientCrash", "crash_events"),
+    ("ClientRecover", "recovery_events"),
+    ("CheckpointSave", "checkpoint_saves"),
+    ("CheckpointRestore", "checkpoint_restores"),
+    ("PayloadCorrupted", "corrupted_payloads"),
+    ("CorruptRejected", "corrupted_rejected"),
+    ("AnomalyRejected", "anomalies_rejected"),
+    ("Quarantine", "quarantines"),
+    ("QuarantineRelease", "quarantine_releases"),
+    ("QuarantineDrop", "quarantine_drops"),
+    ("Rollback", "rollbacks"),
+];
+
+/// Identifiers banned outright in R1 scope, with the finding message.
+pub const R1_BANNED_IDENTS: [(&str, &str); 3] = [
+    (
+        "HashMap",
+        "HashMap iteration order is nondeterministic; use BTreeMap or an index-keyed Vec",
+    ),
+    (
+        "HashSet",
+        "HashSet iteration order is nondeterministic; use BTreeSet or a sorted Vec",
+    ),
+    (
+        "thread_rng",
+        "thread_rng() is unseeded; derive an StdRng from the run seed (init::rng_from_seed)",
+    ),
+];
+
+/// Panicking macros banned in R2 scope (invoked as `name!`).
+pub const R2_BANNED_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Whether `path` (repo-relative, `/`-separated) is in R1 scope.
+pub fn in_r1_scope(path: &str) -> bool {
+    R1_CRATE_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// Whether `path` is one of the R2 untrusted-input files.
+pub fn in_r2_scope(path: &str) -> bool {
+    R2_FILES.contains(&path)
+}
+
+/// Whether `path` is a crate root that must carry the unsafe ban (R4):
+/// every workspace crate under `crates/` plus the facade crate.
+pub fn in_r4_scope(path: &str) -> bool {
+    path == "src/lib.rs"
+        || (path.starts_with("crates/")
+            && path.ends_with("/src/lib.rs")
+            && path.matches('/').count() == 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_match_expected_paths() {
+        assert!(in_r1_scope("crates/split/src/async_trainer.rs"));
+        assert!(in_r1_scope("crates/tensor/src/ops/gemm.rs"));
+        assert!(!in_r1_scope("crates/parallel/src/lib.rs"));
+        assert!(!in_r1_scope("crates/audit/src/engine.rs"));
+
+        assert!(in_r2_scope("crates/split/src/guard.rs"));
+        assert!(!in_r2_scope("crates/split/src/server.rs"));
+
+        assert!(in_r4_scope("src/lib.rs"));
+        assert!(in_r4_scope("crates/audit/src/lib.rs"));
+        assert!(!in_r4_scope("crates/split/src/guard.rs"));
+        assert!(!in_r4_scope("shims/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn counter_table_is_duplicate_free() {
+        for (i, (v, _)) in TRACE_COUNTERS.iter().enumerate() {
+            for (w, _) in &TRACE_COUNTERS[i + 1..] {
+                assert_ne!(v, w, "duplicate variant mapping");
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixture tests: each rule fires exactly once on its known-bad file
+//! (presented under a virtual in-scope path), and an inline `allow()`
+//! directive silences the finding and shows up in the suppression ledger.
+
+use stsl_audit::rules::{
+    REPORT_FILE, RULE_COUNTER, RULE_DETERMINISM, RULE_FORBID_UNSAFE, RULE_NO_PANIC,
+    RULE_UNUSED_SUPPRESSION, TRACE_FILE,
+};
+use stsl_audit::{audit, AuditReport, SourceFile};
+
+fn fixture(path: &str, name: &str) -> SourceFile {
+    let on_disk = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    SourceFile {
+        path: path.to_string(),
+        text: std::fs::read_to_string(&on_disk)
+            .unwrap_or_else(|e| panic!("fixture {}: {e}", on_disk.display())),
+    }
+}
+
+fn assert_fires_once(report: &AuditReport, rule: &str) {
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "expected exactly one finding, got: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.findings[0].rule, rule);
+    assert!(report.suppressions.is_empty());
+}
+
+fn assert_silenced(report: &AuditReport, rule: &str) {
+    assert!(
+        report.findings.is_empty(),
+        "allow() should silence the finding: {:#?}",
+        report.findings
+    );
+    assert_eq!(report.suppressions.len(), 1, "the allow must be counted");
+    assert_eq!(report.suppressions[0].rule, rule);
+    assert_eq!(report.suppressions[0].count, 1);
+    assert!(!report.suppressions[0].reason.is_empty());
+}
+
+#[test]
+fn r1_determinism_fires_exactly_once() {
+    let report = audit(&[fixture("crates/split/src/fixture.rs", "r1_bad.rs")]);
+    assert_fires_once(&report, RULE_DETERMINISM);
+    assert!(report.findings[0].message.contains("HashMap"));
+}
+
+#[test]
+fn r1_allow_silences_and_is_counted() {
+    let report = audit(&[fixture("crates/split/src/fixture.rs", "r1_allowed.rs")]);
+    assert_silenced(&report, RULE_DETERMINISM);
+}
+
+#[test]
+fn r2_no_panic_fires_exactly_once() {
+    let report = audit(&[fixture("crates/split/src/protocol.rs", "r2_bad.rs")]);
+    assert_fires_once(&report, RULE_NO_PANIC);
+    assert!(report.findings[0].message.contains("unwrap"));
+}
+
+#[test]
+fn r2_standalone_allow_silences_and_is_counted() {
+    let report = audit(&[fixture("crates/split/src/protocol.rs", "r2_allowed.rs")]);
+    assert_silenced(&report, RULE_NO_PANIC);
+}
+
+#[test]
+fn r2_fixture_is_clean_outside_r2_scope() {
+    // The same bytes under a non-R2 path produce nothing: scope is part
+    // of the rule, not the content.
+    let report = audit(&[fixture("crates/split/src/server.rs", "r2_bad.rs")]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r3_missing_counter_fires_exactly_once() {
+    let report = audit(&[
+        fixture(TRACE_FILE, "r3_trace.rs"),
+        fixture(REPORT_FILE, "r3_report_missing_counter.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r3_emit.rs"),
+    ]);
+    assert_fires_once(&report, RULE_COUNTER);
+    assert!(
+        report.findings[0].message.contains("rollbacks"),
+        "finding should name the missing counter: {}",
+        report.findings[0]
+    );
+    assert_eq!(report.findings[0].path, REPORT_FILE);
+}
+
+#[test]
+fn r3_complete_contract_is_clean() {
+    let report = audit(&[
+        fixture(TRACE_FILE, "r3_trace.rs"),
+        fixture(REPORT_FILE, "r3_report_good.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r3_emit.rs"),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r3_allow_silences_and_is_counted() {
+    let report = audit(&[
+        fixture(TRACE_FILE, "r3_trace.rs"),
+        fixture(REPORT_FILE, "r3_report_missing_counter_allowed.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r3_emit.rs"),
+    ]);
+    assert_silenced(&report, RULE_COUNTER);
+}
+
+#[test]
+fn r3_unemitted_variant_is_caught() {
+    // Drop the Rollback emission from the emit fixture: the variant is
+    // declared and mapped but never recorded.
+    let mut emit = fixture("crates/split/src/fixture_emit.rs", "r3_emit.rs");
+    emit.text = emit
+        .text
+        .lines()
+        .filter(|l| !l.contains("TraceKind::Rollback"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = audit(&[
+        fixture(TRACE_FILE, "r3_trace.rs"),
+        fixture(REPORT_FILE, "r3_report_good.rs"),
+        emit,
+    ]);
+    assert_fires_once(&report, RULE_COUNTER);
+    assert!(report.findings[0].message.contains("never recorded"));
+}
+
+#[test]
+fn r4_missing_forbid_fires_exactly_once() {
+    let report = audit(&[fixture("crates/demo/src/lib.rs", "r4_bad.rs")]);
+    assert_fires_once(&report, RULE_FORBID_UNSAFE);
+}
+
+#[test]
+fn r4_allow_silences_and_is_counted() {
+    let report = audit(&[fixture("crates/demo/src/lib.rs", "r4_allowed.rs")]);
+    assert_silenced(&report, RULE_FORBID_UNSAFE);
+}
+
+#[test]
+fn unused_allow_is_itself_a_finding() {
+    // The allowed fixture under an out-of-scope path: nothing fires, so
+    // the directive is dead weight and must be flagged.
+    let report = audit(&[fixture("crates/audit/src/fixture.rs", "r1_allowed.rs")]);
+    assert_eq!(report.findings.len(), 1, "{:#?}", report.findings);
+    assert_eq!(report.findings[0].rule, RULE_UNUSED_SUPPRESSION);
+    assert!(report.suppressions.is_empty());
+}

@@ -1,0 +1,10 @@
+//! Fixture: the same R1 violation as `r1_bad.rs`, silenced by an inline
+//! suppression directive on the offending line.
+
+pub fn count_by_key(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new(); // stsl-audit: allow(determinism, reason = "fixture exercising the suppression path")
+    for k in keys {
+        *seen.entry(k).or_insert(0usize) += 1;
+    }
+    seen.len()
+}

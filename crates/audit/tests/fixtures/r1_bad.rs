@@ -1,0 +1,11 @@
+//! Fixture: one R1 (determinism) violation — a `HashMap` in a
+//! deterministic crate. Presented to the engine under a virtual
+//! in-scope path; never compiled.
+
+pub fn count_by_key(keys: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for k in keys {
+        *seen.entry(k).or_insert(0usize) += 1;
+    }
+    seen.len()
+}

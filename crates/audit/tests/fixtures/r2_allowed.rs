@@ -1,0 +1,7 @@
+//! Fixture: the same R2 violation as `r2_bad.rs`, silenced by a
+//! standalone suppression directive on the line above.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // stsl-audit: allow(no-panic, reason = "fixture exercising the standalone-directive path")
+    *bytes.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: one R2 (no-panic) violation — an `unwrap()` in a file that
+//! parses untrusted bytes. Presented under a virtual R2 path; never
+//! compiled.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

@@ -1,0 +1,45 @@
+//! Fixture: non-test code that records every `TraceKind` variant and
+//! reads every counter, so the R3 liveness checks see both sides in use.
+//! Never compiled.
+
+pub fn emit_all(sink: &mut Vec<TraceKind>) {
+    sink.push(TraceKind::Arrival);
+    sink.push(TraceKind::ServiceStart);
+    sink.push(TraceKind::GradientDelivered);
+    sink.push(TraceKind::SchedulerDrop);
+    sink.push(TraceKind::NetworkDrop);
+    sink.push(TraceKind::Retransmit);
+    sink.push(TraceKind::RetryExhausted);
+    sink.push(TraceKind::ClientCrash);
+    sink.push(TraceKind::ClientRecover);
+    sink.push(TraceKind::CheckpointSave);
+    sink.push(TraceKind::CheckpointRestore);
+    sink.push(TraceKind::PayloadCorrupted);
+    sink.push(TraceKind::CorruptRejected);
+    sink.push(TraceKind::AnomalyRejected);
+    sink.push(TraceKind::Quarantine);
+    sink.push(TraceKind::QuarantineRelease);
+    sink.push(TraceKind::QuarantineDrop);
+    sink.push(TraceKind::Rollback);
+}
+
+pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
+    c.uplink_messages
+        + c.downlink_messages
+        + r.served_per_client.len() as u64
+        + r.scheduler_drops
+        + r.network_drops
+        + r.retransmits
+        + r.retry_exhausted
+        + r.crash_events
+        + r.recovery_events
+        + r.checkpoint_saves
+        + r.checkpoint_restores
+        + r.corrupted_payloads
+        + r.corrupted_rejected
+        + r.anomalies_rejected
+        + r.quarantines
+        + r.quarantine_releases
+        + r.quarantine_drops
+        + r.rollbacks
+}

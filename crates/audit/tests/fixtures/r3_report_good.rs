@@ -1,0 +1,27 @@
+//! Fixture: report structs carrying every counter the accounting table
+//! maps. The uplink/downlink message counters live in `CommReport` to
+//! exercise the merged two-struct lookup. Never compiled.
+
+pub struct AsyncReport {
+    pub served_per_client: Vec<u64>,
+    pub scheduler_drops: u64,
+    pub network_drops: u64,
+    pub retransmits: u64,
+    pub retry_exhausted: u64,
+    pub crash_events: u64,
+    pub recovery_events: u64,
+    pub checkpoint_saves: u64,
+    pub checkpoint_restores: u64,
+    pub corrupted_payloads: u64,
+    pub corrupted_rejected: u64,
+    pub anomalies_rejected: u64,
+    pub quarantines: u64,
+    pub quarantine_releases: u64,
+    pub quarantine_drops: u64,
+    pub rollbacks: u64,
+}
+
+pub struct CommReport {
+    pub uplink_messages: u64,
+    pub downlink_messages: u64,
+}

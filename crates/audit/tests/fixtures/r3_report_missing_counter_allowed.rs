@@ -1,0 +1,26 @@
+//! Fixture: like `r3_report_missing_counter.rs` but the finding is
+//! silenced by a directive on the `AsyncReport` declaration line, where
+//! the missing-counter finding anchors. Never compiled.
+
+pub struct AsyncReport { // stsl-audit: allow(counter-accounting, reason = "fixture exercising suppression of a cross-file finding")
+    pub served_per_client: Vec<u64>,
+    pub scheduler_drops: u64,
+    pub network_drops: u64,
+    pub retransmits: u64,
+    pub retry_exhausted: u64,
+    pub crash_events: u64,
+    pub recovery_events: u64,
+    pub checkpoint_saves: u64,
+    pub checkpoint_restores: u64,
+    pub corrupted_payloads: u64,
+    pub corrupted_rejected: u64,
+    pub anomalies_rejected: u64,
+    pub quarantines: u64,
+    pub quarantine_releases: u64,
+    pub quarantine_drops: u64,
+}
+
+pub struct CommReport {
+    pub uplink_messages: u64,
+    pub downlink_messages: u64,
+}

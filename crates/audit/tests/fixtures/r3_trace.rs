@@ -1,0 +1,24 @@
+//! Fixture: a `TraceKind` enum carrying every variant the accounting
+//! table maps. Presented under the virtual trace-file path; never
+//! compiled.
+
+pub enum TraceKind {
+    Arrival,
+    ServiceStart,
+    GradientDelivered,
+    SchedulerDrop,
+    NetworkDrop,
+    Retransmit,
+    RetryExhausted,
+    ClientCrash,
+    ClientRecover,
+    CheckpointSave,
+    CheckpointRestore,
+    PayloadCorrupted,
+    CorruptRejected,
+    AnomalyRejected,
+    Quarantine,
+    QuarantineRelease,
+    QuarantineDrop,
+    Rollback,
+}

@@ -1,0 +1,6 @@
+//! Fixture: the same R4 violation as `r4_bad.rs`, silenced by a
+//! standalone directive targeting the first code line (where the finding
+//! anchors).
+
+// stsl-audit: allow(forbid-unsafe, reason = "fixture exercising suppression of a crate-level finding")
+pub fn nothing() {}

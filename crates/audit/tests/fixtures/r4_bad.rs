@@ -1,0 +1,5 @@
+//! Fixture: an R4 (forbid-unsafe) violation — a crate root with no
+//! `#![forbid(unsafe_code)]`. Presented under a virtual `lib.rs` path;
+//! never compiled.
+
+pub fn nothing() {}

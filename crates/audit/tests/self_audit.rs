@@ -1,0 +1,86 @@
+//! The audit run against the real tree, plus regression tripwires: the
+//! workspace must be clean, and undoing a hardening fix or deleting a
+//! counter must make the auditor fire again (the linter is only worth
+//! its keep if it catches the revert).
+
+use stsl_audit::rules::{REPORT_FILE, RULE_COUNTER, RULE_NO_PANIC};
+use stsl_audit::{audit, collect_workspace_sources, find_workspace_root, SourceFile};
+
+fn workspace_sources() -> Vec<SourceFile> {
+    let root = find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR");
+    collect_workspace_sources(&root).expect("workspace sources readable")
+}
+
+#[test]
+fn workspace_is_clean_with_a_bounded_suppression_budget() {
+    let report = audit(&workspace_sources());
+    assert!(
+        report.findings.is_empty(),
+        "the tree must audit clean:\n{:#?}",
+        report.findings
+    );
+    assert!(
+        report.suppressions.len() <= 5,
+        "suppression budget exceeded ({}); each allow() needs review",
+        report.suppressions.len()
+    );
+    for s in &report.suppressions {
+        assert!(!s.reason.is_empty());
+    }
+    assert!(report.files_scanned > 50, "the walk found the whole tree");
+}
+
+#[test]
+fn deleting_an_async_report_counter_is_caught() {
+    let mut files = workspace_sources();
+    let report_rs = files
+        .iter_mut()
+        .find(|f| f.path == REPORT_FILE)
+        .expect("report.rs in workspace");
+    let before = report_rs.text.len();
+    report_rs.text = report_rs
+        .text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("pub rollbacks:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        report_rs.text.len() < before,
+        "the field should exist to delete"
+    );
+
+    let report = audit(&files);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_COUNTER && f.message.contains("rollbacks")),
+        "deleting the rollbacks counter must fire counter-accounting:\n{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn reintroducing_a_panic_site_is_caught() {
+    let mut files = workspace_sources();
+    let cifar = files
+        .iter_mut()
+        .find(|f| f.path == "crates/data/src/cifar.rs")
+        .expect("cifar.rs in workspace");
+    // The shape of the pre-hardening code: direct indexing into an
+    // untrusted record.
+    cifar
+        .text
+        .push_str("\npub fn regressed(rec: &[u8]) -> u8 {\n    rec[0]\n}\n");
+
+    let report = audit(&files);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_NO_PANIC && f.path.ends_with("cifar.rs")),
+        "reintroduced indexing must fire no-panic:\n{:#?}",
+        report.findings
+    );
+}

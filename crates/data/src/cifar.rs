@@ -101,12 +101,19 @@ pub fn parse_records(bytes: &[u8]) -> Result<ImageDataset, CifarError> {
     let mut data = Vec::with_capacity(n * 3072);
     let mut labels = Vec::with_capacity(n);
     for rec in bytes.chunks_exact(RECORD_BYTES) {
-        let label = rec[0];
+        // `chunks_exact` never yields an empty chunk, but a reader of
+        // untrusted bytes refuses rather than trusts.
+        let Some((&label, pixels)) = rec.split_first() else {
+            return Err(CifarError::MalformedFile {
+                path: "<memory>".into(),
+                len: bytes.len(),
+            });
+        };
         if label > 9 {
             return Err(CifarError::BadLabel { label });
         }
         labels.push(label as usize);
-        data.extend(rec[1..].iter().map(|&b| b as f32 / 255.0));
+        data.extend(pixels.iter().map(|&b| b as f32 / 255.0));
     }
     Ok(ImageDataset::new(
         Tensor::from_vec(data, [n, 3, 32, 32]),
@@ -225,6 +232,26 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let d = load_batch(&path).unwrap();
         assert_eq!(d.labels(), &[1, 2]);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_batch_rejects_truncated_file() {
+        // A download cut off mid-record must surface as a typed error
+        // naming the file, not a slice panic.
+        let dir = std::env::temp_dir().join("stsl_cifar_truncated_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data_batch_1.bin");
+        let mut bytes = fake_record(4, 7);
+        bytes.truncate(RECORD_BYTES - 100);
+        fs::write(&path, &bytes).unwrap();
+        match load_batch(&path) {
+            Err(CifarError::MalformedFile { path: p, len }) => {
+                assert_eq!(len, RECORD_BYTES - 100);
+                assert!(p.contains("data_batch_1.bin"), "error names the file: {p}");
+            }
+            other => panic!("expected MalformedFile, got {other:?}"),
+        }
         fs::remove_file(&path).ok();
     }
 

@@ -6,7 +6,7 @@
 //! place. Per-parameter state (momentum, Adam moments) is keyed by that id
 //! and allocated lazily.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use stsl_tensor::Tensor;
 
 /// A stateful first-order optimizer.
@@ -36,7 +36,7 @@ pub struct Sgd {
     lr: f32,
     momentum: f32,
     weight_decay: f32,
-    velocity: HashMap<usize, Tensor>,
+    velocity: BTreeMap<usize, Tensor>,
 }
 
 impl Sgd {
@@ -46,7 +46,7 @@ impl Sgd {
             lr,
             momentum: 0.0,
             weight_decay: 0.0,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 
@@ -103,7 +103,7 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u32,
-    moments: HashMap<usize, (Tensor, Tensor)>,
+    moments: BTreeMap<usize, (Tensor, Tensor)>,
 }
 
 impl Adam {
@@ -115,7 +115,7 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            moments: HashMap::new(),
+            moments: BTreeMap::new(),
         }
     }
 

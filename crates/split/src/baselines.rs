@@ -43,7 +43,7 @@ impl CentralizedTrainer {
 
     /// Trains on pooled `train`, evaluating on `test` after each epoch.
     pub fn train(&mut self, train: &ImageDataset, test: &ImageDataset) -> TrainReport {
-        let start = std::time::Instant::now();
+        let start = crate::WallTimer::start();
         let plan = BatchPlan::new(self.config.batch_size, derive_seed(self.config.seed, 11));
         let loss = SoftmaxCrossEntropy::new();
         let mut opt = self.config.build_optimizer();
@@ -78,7 +78,7 @@ impl CentralizedTrainer {
             final_accuracy,
             per_client_accuracy: vec![final_accuracy],
             comm: CommReport::default(),
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: start.seconds(),
             anomalies_rejected: 0,
             rollbacks: 0,
         }
@@ -171,7 +171,7 @@ impl FedAvgTrainer {
 
     /// Runs `rounds` communication rounds and evaluates after each.
     pub fn train(&mut self, rounds: usize, test: &ImageDataset) -> TrainReport {
-        let start = std::time::Instant::now();
+        let start = crate::WallTimer::start();
         let loss = SoftmaxCrossEntropy::new();
         let mut epochs = Vec::new();
         for round in 0..rounds {
@@ -243,7 +243,7 @@ impl FedAvgTrainer {
             final_accuracy,
             per_client_accuracy: vec![final_accuracy; self.config.end_systems],
             comm: self.comm,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: start.seconds(),
             anomalies_rejected: 0,
             rollbacks: 0,
         }

@@ -77,6 +77,17 @@ impl Checkpoint {
     }
 }
 
+/// The outcome of [`CheckpointRing::load_dir_traced`]: the recovered ring
+/// plus one path-annotated error per entry that failed to parse.
+#[derive(Debug)]
+pub struct RingLoad {
+    /// The ring rebuilt from every readable entry, oldest first.
+    pub ring: CheckpointRing,
+    /// Errors for entries that were skipped (crash mid-write, disk
+    /// damage). Each error message names the offending file.
+    pub skipped: Vec<std::io::Error>,
+}
+
 /// A bounded ring of the last K good checkpoints, newest last.
 ///
 /// The health watchdog rolls back through this ring on divergence: the
@@ -98,6 +109,7 @@ impl CheckpointRing {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        // stsl-audit: allow(no-panic, reason = "constructor precondition on a compile-time-chosen capacity; a zero-capacity ring is a programming error, not a runtime condition")
         assert!(capacity > 0, "checkpoint ring capacity must be positive");
         CheckpointRing {
             capacity,
@@ -171,20 +183,29 @@ impl CheckpointRing {
     /// what the ring is for. An empty or missing directory yields an
     /// empty ring.
     pub fn load_dir(dir: impl AsRef<Path>, capacity: usize) -> CheckpointRing {
+        Self::load_dir_traced(dir, capacity).ring
+    }
+
+    /// Like [`CheckpointRing::load_dir`], but reports every skipped entry
+    /// as a path-annotated [`std::io::Error`] so callers can trace the
+    /// data loss instead of discovering it by a shorter ring.
+    pub fn load_dir_traced(dir: impl AsRef<Path>, capacity: usize) -> RingLoad {
         let dir = dir.as_ref();
         let mut ring = CheckpointRing::new(capacity);
+        let mut skipped = Vec::new();
         let mut i = 0;
         loop {
             let path = dir.join(format!("ring-{i}.json"));
             if !path.exists() {
                 break;
             }
-            if let Ok(entry) = Checkpoint::load(&path) {
-                ring.push(entry);
+            match Checkpoint::load(&path) {
+                Ok(entry) => ring.push(entry),
+                Err(e) => skipped.push(e),
             }
             i += 1;
         }
-        ring
+        RingLoad { ring, skipped }
     }
 }
 
@@ -384,11 +405,24 @@ mod tests {
         );
 
         // Corrupt the newest entry, as a crash mid-write would: load lands
-        // on the newest *readable* state.
+        // on the newest *readable* state, and the traced variant names
+        // the file that was lost.
         std::fs::write(dir.join("ring-2.json"), "{truncated").unwrap();
-        let degraded = CheckpointRing::load_dir(&dir, 3);
-        assert_eq!(degraded.len(), 2);
-        assert_eq!(degraded.latest().unwrap().server_state, good.server_state);
+        let degraded = CheckpointRing::load_dir_traced(&dir, 3);
+        assert_eq!(degraded.ring.len(), 2);
+        assert_eq!(
+            degraded.ring.latest().unwrap().server_state,
+            good.server_state
+        );
+        assert_eq!(degraded.skipped.len(), 1);
+        assert_eq!(degraded.skipped[0].kind(), std::io::ErrorKind::InvalidData);
+        assert!(
+            degraded.skipped[0].to_string().contains("ring-2.json"),
+            "skip error should name the corrupt file: {}",
+            degraded.skipped[0]
+        );
+        // The untraced wrapper sees the same ring.
+        assert_eq!(CheckpointRing::load_dir(&dir, 3).len(), 2);
 
         // Saving a shorter ring removes the stale third file.
         let mut short = CheckpointRing::new(3);

@@ -163,15 +163,25 @@ impl QuarantineTracker {
 
     /// Admission check at update-arrival time. Counts drops and handles
     /// the probationary release transition.
+    ///
+    /// An `id` the tracker has never heard of (possible when the guard-off
+    /// `decode_unchecked` path lets a garbled sender field through) is
+    /// never admitted: it counts as a drop rather than a panic.
     pub fn admit(&mut self, id: usize, at: SimTime) -> QuarantineStatus {
-        match self.until[id] {
-            Some(until) if at < until => {
+        let Some(until) = self.until.get_mut(id) else {
+            self.drops += 1;
+            return QuarantineStatus::Dropped;
+        };
+        match *until {
+            Some(u) if at < u => {
                 self.drops += 1;
                 QuarantineStatus::Dropped
             }
             Some(_) => {
-                self.until[id] = None;
-                self.scores[id] = 0.0;
+                *until = None;
+                if let Some(score) = self.scores.get_mut(id) {
+                    *score = 0.0;
+                }
                 self.releases += 1;
                 QuarantineStatus::Released
             }
@@ -181,10 +191,14 @@ impl QuarantineTracker {
 
     /// Records an ingress anomaly from `id`. Returns `true` when this
     /// anomaly pushed the end-system over the threshold into quarantine.
+    /// Unknown ids are ignored (they are already barred by [`Self::admit`]).
     pub fn record_anomaly(&mut self, id: usize, at: SimTime) -> bool {
-        self.scores[id] += 1.0;
-        if self.until[id].is_none() && self.scores[id] >= self.threshold {
-            self.until[id] = Some(at + self.probation);
+        let (Some(score), Some(until)) = (self.scores.get_mut(id), self.until.get_mut(id)) else {
+            return false;
+        };
+        *score += 1.0;
+        if until.is_none() && *score >= self.threshold {
+            *until = Some(at + self.probation);
             self.quarantines += 1;
             true
         } else {
@@ -194,17 +208,19 @@ impl QuarantineTracker {
 
     /// Records a clean, accepted update from `id` (decays its score).
     pub fn record_clean(&mut self, id: usize) {
-        self.scores[id] *= self.decay;
+        if let Some(score) = self.scores.get_mut(id) {
+            *score *= self.decay;
+        }
     }
 
-    /// Current anomaly score of `id`.
+    /// Current anomaly score of `id` (0 for unknown ids).
     pub fn score(&self, id: usize) -> f32 {
-        self.scores[id]
+        self.scores.get(id).copied().unwrap_or(0.0)
     }
 
     /// Whether `id` is quarantined at `at`.
     pub fn in_quarantine(&self, id: usize, at: SimTime) -> bool {
-        matches!(self.until[id], Some(until) if at < until)
+        matches!(self.until.get(id), Some(Some(until)) if at < *until)
     }
 
     /// Total quarantine entries so far.
@@ -357,6 +373,22 @@ mod tests {
         assert_eq!(q.releases(), 1);
         assert_eq!(q.score(0), 0.0);
         assert_eq!(q.admit(0, t(104)), QuarantineStatus::Clear);
+    }
+
+    #[test]
+    fn unknown_sender_id_is_dropped_not_a_panic() {
+        // A garbled `from` field surviving decode_unchecked must never be
+        // able to crash the server's quarantine bookkeeping.
+        let mut q = QuarantineTracker::new(2, &GuardConfig::default());
+        assert_eq!(q.admit(7, t(0)), QuarantineStatus::Dropped);
+        assert_eq!(q.drops(), 1);
+        assert!(!q.record_anomaly(usize::MAX, t(1)));
+        q.record_clean(99);
+        assert_eq!(q.score(99), 0.0);
+        assert!(!q.in_quarantine(99, t(2)));
+        assert_eq!(q.quarantines(), 0);
+        // Known ids are unaffected.
+        assert_eq!(q.admit(1, t(3)), QuarantineStatus::Clear);
     }
 
     #[test]

@@ -56,9 +56,10 @@ mod scheduler;
 mod server;
 mod trainer;
 mod ushaped;
+mod walltime;
 
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
-pub use checkpoint::{Checkpoint, CheckpointRing};
+pub use checkpoint::{Checkpoint, CheckpointRing, RingLoad};
 pub use client::{EndSystem, ProtocolError};
 pub use config::{OptimizerKind, PartitionKind, SplitConfig};
 pub use guard::{
@@ -72,3 +73,4 @@ pub use scheduler::{ArrivalQueue, QueuedJob, SchedulingPolicy};
 pub use server::{CentralServer, ServerStepOutput};
 pub use trainer::{ConfigError, SpatioTemporalTrainer};
 pub use ushaped::UShapedTrainer;
+pub use walltime::WallTimer;

@@ -275,7 +275,14 @@ fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
 fn open_frame(mut bytes: Bytes, kind: u8, verify_crc: bool) -> Result<Bytes, DecodeError> {
     need(&bytes, WIRE_HEADER_BYTES)?;
     let magic_vec = bytes.copy_bytes(4);
-    let magic: [u8; 4] = [magic_vec[0], magic_vec[1], magic_vec[2], magic_vec[3]];
+    let Ok(magic) = <[u8; 4]>::try_from(magic_vec.as_slice()) else {
+        // Unreachable after the header-size check, but a decoder for
+        // hostile bytes refuses rather than trusts.
+        return Err(DecodeError::Truncated {
+            needed: 4,
+            have: magic_vec.len(),
+        });
+    };
     if magic != WIRE_MAGIC {
         return Err(DecodeError::BadMagic { got: magic });
     }

@@ -314,7 +314,7 @@ impl SpatioTemporalTrainer {
 
     /// Runs the full configured training, evaluating after every epoch.
     pub fn train(&mut self, test: &ImageDataset) -> TrainReport {
-        let start = std::time::Instant::now();
+        let start = crate::WallTimer::start();
         if self.guard.is_some() {
             // Seed the rollback ring so the watchdog always has a target,
             // even if training diverges during the first epoch.
@@ -350,7 +350,7 @@ impl SpatioTemporalTrainer {
             final_accuracy,
             per_client_accuracy,
             comm: self.comm,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: start.seconds(),
             anomalies_rejected: self.anomalies_rejected,
             rollbacks: self.rollbacks,
         }

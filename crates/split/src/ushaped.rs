@@ -198,7 +198,7 @@ impl UShapedTrainer {
 
     /// Runs the configured training and reports like the other trainers.
     pub fn train(&mut self, test: &ImageDataset) -> TrainReport {
-        let start = std::time::Instant::now();
+        let start = crate::WallTimer::start();
         let mut epochs = Vec::new();
         for e in 0..self.config.epochs {
             let (train_loss, train_accuracy) = self.run_epoch(e);
@@ -225,7 +225,7 @@ impl UShapedTrainer {
             final_accuracy,
             per_client_accuracy,
             comm: self.comm,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: start.seconds(),
             anomalies_rejected: 0,
             rollbacks: 0,
         }

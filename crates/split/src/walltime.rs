@@ -1,0 +1,42 @@
+//! The one sanctioned host-clock read in the deterministic crates.
+//!
+//! Reports carry a `wall_seconds` field — how long the run took on the
+//! host, purely informational. Everything else in `tensor`/`nn`/`split`/
+//! `simnet` must use the simnet virtual clock, and `stsl-audit` rule R1
+//! enforces that statically. Funnelling the host clock through this
+//! single type keeps the workspace down to exactly one audited
+//! suppression instead of one per trainer.
+
+/// Measures elapsed host wall-clock time for report metadata.
+///
+/// Never use this for anything that feeds simulation ordering, scheduling
+/// or learning math — those must be deterministic given the seed.
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer(std::time::Instant);
+
+impl WallTimer {
+    /// Starts a timer at the current host time.
+    pub fn start() -> Self {
+        // stsl-audit: allow(determinism, reason = "single sanctioned host-clock read; feeds only the informational wall_seconds report field, never simulation or training state")
+        WallTimer(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since [`WallTimer::start`].
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_is_monotonic_and_nonnegative() {
+        let t = WallTimer::start();
+        let a = t.seconds();
+        let b = t.seconds();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+}

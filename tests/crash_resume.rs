@@ -47,11 +47,21 @@ fn restart_resumes_from_persisted_ring() {
     assert_eq!(second.evaluate(&test), final_accuracy);
 
     // "Process 3": the crash truncated the newest ring file mid-write.
-    // Restart lands on the newest *readable* snapshot (end of epoch 0).
+    // Restart lands on the newest *readable* snapshot (end of epoch 0),
+    // and the traced loader surfaces exactly which file was lost instead
+    // of silently shortening the ring.
     let newest = dir.join("ring-2.json");
     let json = std::fs::read_to_string(&newest).unwrap();
     std::fs::write(&newest, &json[..json.len() / 3]).unwrap();
-    let degraded = CheckpointRing::load_dir(&dir, GuardConfig::default().ring_capacity);
+    let load = CheckpointRing::load_dir_traced(&dir, GuardConfig::default().ring_capacity);
+    assert_eq!(load.skipped.len(), 1);
+    assert_eq!(load.skipped[0].kind(), std::io::ErrorKind::InvalidData);
+    assert!(
+        load.skipped[0].to_string().contains("ring-2.json"),
+        "skip error should name the corrupt file: {}",
+        load.skipped[0]
+    );
+    let degraded = load.ring;
     assert_eq!(degraded.len(), 2);
     let mut third = SpatioTemporalTrainer::new(cfg().seed(99), &train)
         .unwrap()
