@@ -7,9 +7,10 @@
 
 use crate::lexer::{lex, Comment, Tok, TokKind};
 use crate::rules::{
-    in_r1_scope, in_r2_scope, in_r4_scope, R1_BANNED_IDENTS, R2_BANNED_MACROS, REPORT_FILE,
-    RULE_BAD_SUPPRESSION, RULE_COUNTER, RULE_DETERMINISM, RULE_FORBID_UNSAFE, RULE_IDS,
-    RULE_NO_PANIC, RULE_UNUSED_SUPPRESSION, TRACE_COUNTERS, TRACE_FILE,
+    in_r1_scope, in_r2_scope, in_r4_scope, METRIC_FILE, METRIC_IDS, R1_BANNED_IDENTS,
+    R2_BANNED_MACROS, REPORT_FILE, RULE_BAD_SUPPRESSION, RULE_COUNTER, RULE_DETERMINISM,
+    RULE_FORBID_UNSAFE, RULE_IDS, RULE_METRIC, RULE_NO_PANIC, RULE_UNUSED_SUPPRESSION,
+    TRACE_COUNTERS, TRACE_FILE,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -103,11 +104,29 @@ struct CounterState {
     used_idents: BTreeSet<String>,
 }
 
+/// Cross-file state for the metric-accounting rule (R5).
+#[derive(Debug, Default)]
+struct MetricState {
+    /// `MetricId` variants with the line each is declared on.
+    variants: Vec<(String, usize)>,
+    /// Line of the `enum MetricId` declaration.
+    enum_line: usize,
+    /// Whether the registry file was present.
+    saw_registry: bool,
+    /// Raw registry source. Label checks read the text directly because
+    /// the lexer deliberately drops string-literal contents.
+    registry_text: String,
+    /// `MetricId::X` references seen in non-test code outside the
+    /// registry — proof somebody actually records the metric.
+    recorded: BTreeSet<String>,
+}
+
 /// Runs the full rule set over `files` and reconciles suppressions.
 pub fn audit(files: &[SourceFile]) -> AuditReport {
     let mut raw: Vec<Finding> = Vec::new();
     let mut directives: Vec<Directive> = Vec::new();
     let mut counters = CounterState::default();
+    let mut metrics = MetricState::default();
 
     for file in files {
         let lexed = lex(&file.text);
@@ -133,9 +152,11 @@ pub fn audit(files: &[SourceFile]) -> AuditReport {
             scan_r4(file, &lexed.tokens, &mut raw);
         }
         collect_counter_state(file, &lexed.tokens, &is_excluded, &mut counters);
+        collect_metric_state(file, &lexed.tokens, &is_excluded, &mut metrics);
     }
 
     check_counters(&counters, &mut raw);
+    check_metrics(&metrics, &mut raw);
 
     // Reconcile findings with directives.
     let mut findings = Vec::new();
@@ -461,6 +482,101 @@ fn collect_counter_state(
             if let Some(name) = t.ident() {
                 state.used_idents.insert(name.to_string());
             }
+        }
+    }
+}
+
+/// Gathers the R5 inputs from one file.
+fn collect_metric_state(
+    file: &SourceFile,
+    tokens: &[Tok],
+    is_excluded: &dyn Fn(usize) -> bool,
+    state: &mut MetricState,
+) {
+    if file.path == METRIC_FILE {
+        if let Some((line, variants)) = parse_enum(tokens, "MetricId") {
+            state.saw_registry = true;
+            state.enum_line = line;
+            state.variants = variants;
+        }
+        state.registry_text = file.text.clone();
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if is_excluded(t.line) {
+            continue;
+        }
+        if t.is_ident("MetricId") {
+            if let (Some(a), Some(b), Some(c)) =
+                (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+            {
+                if a.is_punct(':') && b.is_punct(':') {
+                    if let Some(v) = c.ident() {
+                        state.recorded.insert(v.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R5: every `MetricId` variant maps to a snapshot label, the label is
+/// exported by the registry, and somebody records the metric in non-test
+/// code. The label check reads the raw registry text because the lexer
+/// drops string-literal contents.
+fn check_metrics(state: &MetricState, findings: &mut Vec<Finding>) {
+    if !state.saw_registry {
+        return;
+    }
+    let mapping: BTreeMap<&str, &str> = METRIC_IDS.iter().copied().collect();
+    for (variant, line) in &state.variants {
+        let Some(label) = mapping.get(variant.as_str()) else {
+            findings.push(Finding {
+                path: METRIC_FILE.to_string(),
+                line: *line,
+                rule: RULE_METRIC,
+                message: format!(
+                    "MetricId::{variant} has no snapshot-label mapping; add it to \
+                     stsl-audit rules.rs METRIC_IDS in the same PR"
+                ),
+            });
+            continue;
+        };
+        if !state.registry_text.contains(&format!("\"{label}\"")) {
+            findings.push(Finding {
+                path: METRIC_FILE.to_string(),
+                line: *line,
+                rule: RULE_METRIC,
+                message: format!(
+                    "MetricId::{variant}'s snapshot label \"{label}\" is not exported \
+                     by the registry; every registered metric must appear in the \
+                     exported snapshot"
+                ),
+            });
+            continue;
+        }
+        if !state.recorded.contains(variant) {
+            findings.push(Finding {
+                path: METRIC_FILE.to_string(),
+                line: *line,
+                rule: RULE_METRIC,
+                message: format!("MetricId::{variant} is never recorded in non-test code"),
+            });
+        }
+    }
+    // Stale table entries point at variants that no longer exist.
+    let variant_names: BTreeSet<&str> = state.variants.iter().map(|(v, _)| v.as_str()).collect();
+    for (variant, _) in &METRIC_IDS {
+        if !variant_names.contains(variant) {
+            findings.push(Finding {
+                path: METRIC_FILE.to_string(),
+                line: state.enum_line,
+                rule: RULE_METRIC,
+                message: format!(
+                    "stsl-audit METRIC_IDS maps `{variant}`, which is not a MetricId \
+                     variant; remove the stale table entry"
+                ),
+            });
         }
     }
 }

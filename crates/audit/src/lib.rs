@@ -6,17 +6,21 @@
 //! iteration, `thread_rng()` or `unwrap()` silently re-breaks. This crate
 //! enforces them *statically*: it lexes every `.rs` file in the workspace
 //! (no `syn` — the build environment is offline, so the scanner is a
-//! purpose-built token lexer) and applies four rules:
+//! purpose-built token lexer) and applies five rules:
 //!
 //! - **R1 `determinism`** — no `HashMap`/`HashSet`, `Instant::now`,
 //!   `SystemTime`, `thread_rng` or raw `thread::spawn` in the
-//!   deterministic crates (`tensor`, `nn`, `split`, `simnet`).
+//!   deterministic crates (`tensor`, `nn`, `split`, `simnet`,
+//!   `telemetry`).
 //! - **R2 `no-panic`** — no `unwrap`/`expect`/panicking macros/slice
 //!   indexing in the files that parse untrusted wire or disk bytes.
 //! - **R3 `counter-accounting`** — every `TraceKind` variant maps to a
 //!   live `AsyncReport`/`CommReport` counter and both sides are emitted.
 //! - **R4 `forbid-unsafe`** — every crate root declares
 //!   `#![forbid(unsafe_code)]`.
+//! - **R5 `metric-accounting`** — every telemetry `MetricId` variant maps
+//!   to a snapshot label the registry exports, and is recorded somewhere
+//!   in non-test code.
 //!
 //! Suppressions are inline comments the tool counts and reports:
 //!

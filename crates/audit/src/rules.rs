@@ -8,6 +8,7 @@
 //! | `no-panic`           | R2 — hostile wire/disk bytes never abort         |
 //! | `counter-accounting` | R3 — every `TraceKind` has a live counter        |
 //! | `forbid-unsafe`      | R4 — `#![forbid(unsafe_code)]` in every crate    |
+//! | `metric-accounting`  | R5 — every `MetricId` is exported and recorded   |
 //!
 //! Two meta-rules police the suppression mechanism itself:
 //! `bad-suppression` (malformed `allow` directive) and `unused-suppression`
@@ -21,27 +22,31 @@ pub const RULE_NO_PANIC: &str = "no-panic";
 pub const RULE_COUNTER: &str = "counter-accounting";
 /// Rule id for R4 (unsafe ban).
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Rule id for R5 (telemetry metric accounting).
+pub const RULE_METRIC: &str = "metric-accounting";
 /// Meta-rule: a suppression directive that could not be parsed.
 pub const RULE_BAD_SUPPRESSION: &str = "bad-suppression";
 /// Meta-rule: a suppression directive that silenced no finding.
 pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
 
 /// All real (non-meta) rule ids, for directive validation.
-pub const RULE_IDS: [&str; 4] = [
+pub const RULE_IDS: [&str; 5] = [
     RULE_DETERMINISM,
     RULE_NO_PANIC,
     RULE_COUNTER,
     RULE_FORBID_UNSAFE,
+    RULE_METRIC,
 ];
 
 /// Crates whose `src/` trees must be deterministic (R1): no host clock,
 /// no unseeded RNG, no raw threads, no hash-order iteration. `stsl-parallel`
 /// is deliberately absent — it is the sanctioned threading layer.
-pub const R1_CRATE_DIRS: [&str; 4] = [
+pub const R1_CRATE_DIRS: [&str; 5] = [
     "crates/tensor/src/",
     "crates/nn/src/",
     "crates/split/src/",
     "crates/simnet/src/",
+    "crates/telemetry/src/",
 ];
 
 /// Files that parse untrusted wire or on-disk bytes (R2): no `unwrap`,
@@ -64,7 +69,7 @@ pub const REPORT_FILE: &str = "crates/split/src/report.rs";
 /// code is a `counter-accounting` finding — adding a trace kind forces the
 /// author to add (and emit) its counter, or extend this table in the same
 /// PR, where a reviewer sees both sides.
-pub const TRACE_COUNTERS: [(&str, &str); 18] = [
+pub const TRACE_COUNTERS: [(&str, &str); 20] = [
     ("Arrival", "uplink_messages"),
     ("ServiceStart", "served_per_client"),
     ("GradientDelivered", "downlink_messages"),
@@ -83,6 +88,25 @@ pub const TRACE_COUNTERS: [(&str, &str); 18] = [
     ("QuarantineRelease", "quarantine_releases"),
     ("QuarantineDrop", "quarantine_drops"),
     ("Rollback", "rollbacks"),
+    ("SnapshotEmit", "snapshots_emitted"),
+    ("JournalDrop", "journal_dropped"),
+];
+
+/// Where the `MetricId` enum and the snapshot exporter live (R5 input).
+pub const METRIC_FILE: &str = "crates/telemetry/src/registry.rs";
+
+/// The metric-accounting contract (R5): every `MetricId` variant and the
+/// snapshot label it must export under. A variant missing from this table,
+/// a label absent from the registry source (i.e. dropped from `as_str` and
+/// therefore from every exported snapshot), or a variant never recorded in
+/// non-test code outside the registry is a `metric-accounting` finding —
+/// the same emission/liveness discipline R3 applies to trace counters.
+pub const METRIC_IDS: [(&str, &str); 5] = [
+    ("UplinkLatency", "uplink_latency_us"),
+    ("DownlinkLatency", "downlink_latency_us"),
+    ("QueueDepth", "queue_depth"),
+    ("GradientStaleness", "gradient_staleness_us"),
+    ("ServiceTime", "service_time_us"),
 ];
 
 /// Identifiers banned outright in R1 scope, with the finding message.
@@ -156,6 +180,16 @@ mod tests {
         for (i, (v, _)) in TRACE_COUNTERS.iter().enumerate() {
             for (w, _) in &TRACE_COUNTERS[i + 1..] {
                 assert_ne!(v, w, "duplicate variant mapping");
+            }
+        }
+    }
+
+    #[test]
+    fn metric_table_is_duplicate_free() {
+        for (i, (v, l)) in METRIC_IDS.iter().enumerate() {
+            for (w, m) in &METRIC_IDS[i + 1..] {
+                assert_ne!(v, w, "duplicate metric variant mapping");
+                assert_ne!(l, m, "duplicate snapshot label");
             }
         }
     }

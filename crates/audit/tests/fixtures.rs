@@ -3,8 +3,8 @@
 //! directive silences the finding and shows up in the suppression ledger.
 
 use stsl_audit::rules::{
-    REPORT_FILE, RULE_COUNTER, RULE_DETERMINISM, RULE_FORBID_UNSAFE, RULE_NO_PANIC,
-    RULE_UNUSED_SUPPRESSION, TRACE_FILE,
+    METRIC_FILE, REPORT_FILE, RULE_COUNTER, RULE_DETERMINISM, RULE_FORBID_UNSAFE, RULE_METRIC,
+    RULE_NO_PANIC, RULE_UNUSED_SUPPRESSION, TRACE_FILE,
 };
 use stsl_audit::{audit, AuditReport, SourceFile};
 
@@ -129,6 +129,55 @@ fn r3_unemitted_variant_is_caught() {
         emit,
     ]);
     assert_fires_once(&report, RULE_COUNTER);
+    assert!(report.findings[0].message.contains("never recorded"));
+}
+
+#[test]
+fn r5_complete_contract_is_clean() {
+    let report = audit(&[
+        fixture(METRIC_FILE, "r5_registry_good.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r5_emit.rs"),
+    ]);
+    assert!(report.findings.is_empty(), "{:#?}", report.findings);
+}
+
+#[test]
+fn r5_unexported_label_fires_exactly_once() {
+    let report = audit(&[
+        fixture(METRIC_FILE, "r5_registry_missing_label.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r5_emit.rs"),
+    ]);
+    assert_fires_once(&report, RULE_METRIC);
+    assert!(
+        report.findings[0].message.contains("service_time_us"),
+        "finding should name the missing label: {}",
+        report.findings[0]
+    );
+    assert_eq!(report.findings[0].path, METRIC_FILE);
+}
+
+#[test]
+fn r5_allow_silences_and_is_counted() {
+    let report = audit(&[
+        fixture(METRIC_FILE, "r5_registry_missing_label_allowed.rs"),
+        fixture("crates/split/src/fixture_emit.rs", "r5_emit.rs"),
+    ]);
+    assert_silenced(&report, RULE_METRIC);
+}
+
+#[test]
+fn r5_unrecorded_metric_is_caught() {
+    // Drop the GradientStaleness recording from the emit fixture: the
+    // metric is declared and exported but nobody feeds it.
+    let mut emit = fixture("crates/split/src/fixture_emit.rs", "r5_emit.rs");
+    emit.text = emit
+        .text
+        .lines()
+        .filter(|l| !l.contains("MetricId::GradientStaleness"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let report = audit(&[fixture(METRIC_FILE, "r5_registry_good.rs"), emit]);
+    assert_fires_once(&report, RULE_METRIC);
     assert!(report.findings[0].message.contains("never recorded"));
 }
 

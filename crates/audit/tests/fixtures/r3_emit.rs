@@ -21,6 +21,8 @@ pub fn emit_all(sink: &mut Vec<TraceKind>) {
     sink.push(TraceKind::QuarantineRelease);
     sink.push(TraceKind::QuarantineDrop);
     sink.push(TraceKind::Rollback);
+    sink.push(TraceKind::SnapshotEmit);
+    sink.push(TraceKind::JournalDrop);
 }
 
 pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
@@ -42,4 +44,6 @@ pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
         + r.quarantine_releases
         + r.quarantine_drops
         + r.rollbacks
+        + r.snapshots_emitted
+        + r.journal_dropped
 }

@@ -19,6 +19,8 @@ pub struct AsyncReport {
     pub quarantine_releases: u64,
     pub quarantine_drops: u64,
     pub rollbacks: u64,
+    pub snapshots_emitted: u64,
+    pub journal_dropped: u64,
 }
 
 pub struct CommReport {

@@ -18,6 +18,8 @@ pub struct AsyncReport { // stsl-audit: allow(counter-accounting, reason = "fixt
     pub quarantines: u64,
     pub quarantine_releases: u64,
     pub quarantine_drops: u64,
+    pub snapshots_emitted: u64,
+    pub journal_dropped: u64,
 }
 
 pub struct CommReport {

@@ -21,4 +21,6 @@ pub enum TraceKind {
     QuarantineRelease,
     QuarantineDrop,
     Rollback,
+    SnapshotEmit,
+    JournalDrop,
 }

@@ -1,0 +1,10 @@
+//! Fixture: non-test code that records every `MetricId`, so the R5
+//! liveness check sees each metric actually fed. Never compiled.
+
+pub fn record_all(hub: &mut TelemetryHub) {
+    hub.record(MetricId::UplinkLatency, 0, 1);
+    hub.record(MetricId::DownlinkLatency, 0, 1);
+    hub.record(MetricId::QueueDepth, 0, 1);
+    hub.record(MetricId::GradientStaleness, 0, 1);
+    hub.record(MetricId::ServiceTime, 0, 1);
+}

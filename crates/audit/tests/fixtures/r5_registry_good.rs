@@ -1,0 +1,22 @@
+//! Fixture: a registry exporting every metric the R5 table maps, shaped
+//! like the real `crates/telemetry/src/registry.rs`. Never compiled.
+
+pub enum MetricId {
+    UplinkLatency,
+    DownlinkLatency,
+    QueueDepth,
+    GradientStaleness,
+    ServiceTime,
+}
+
+impl MetricId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricId::UplinkLatency => "uplink_latency_us",
+            MetricId::DownlinkLatency => "downlink_latency_us",
+            MetricId::QueueDepth => "queue_depth",
+            MetricId::GradientStaleness => "gradient_staleness_us",
+            MetricId::ServiceTime => "service_time_us",
+        }
+    }
+}

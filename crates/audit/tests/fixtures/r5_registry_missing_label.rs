@@ -1,0 +1,23 @@
+//! Fixture: like `r5_registry_good.rs` but the `ServiceTime` label is
+//! gone from the export path — exactly one `metric-accounting` finding,
+//! anchored at the variant declaration. Never compiled.
+
+pub enum MetricId {
+    UplinkLatency,
+    DownlinkLatency,
+    QueueDepth,
+    GradientStaleness,
+    ServiceTime,
+}
+
+impl MetricId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricId::UplinkLatency => "uplink_latency_us",
+            MetricId::DownlinkLatency => "downlink_latency_us",
+            MetricId::QueueDepth => "queue_depth",
+            MetricId::GradientStaleness => "gradient_staleness_us",
+            MetricId::ServiceTime => "unlabeled",
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: like `r5_registry_missing_label.rs` but the finding is
+//! silenced by a directive on the `ServiceTime` variant line, where the
+//! missing-label finding anchors. Never compiled.
+
+pub enum MetricId {
+    UplinkLatency,
+    DownlinkLatency,
+    QueueDepth,
+    GradientStaleness,
+    ServiceTime, // stsl-audit: allow(metric-accounting, reason = "fixture exercising suppression of a metric finding")
+}
+
+impl MetricId {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricId::UplinkLatency => "uplink_latency_us",
+            MetricId::DownlinkLatency => "downlink_latency_us",
+            MetricId::QueueDepth => "queue_depth",
+            MetricId::GradientStaleness => "gradient_staleness_us",
+            MetricId::ServiceTime => "unlabeled",
+        }
+    }
+}

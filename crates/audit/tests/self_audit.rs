@@ -3,7 +3,7 @@
 //! counter must make the auditor fire again (the linter is only worth
 //! its keep if it catches the revert).
 
-use stsl_audit::rules::{REPORT_FILE, RULE_COUNTER, RULE_NO_PANIC};
+use stsl_audit::rules::{METRIC_FILE, REPORT_FILE, RULE_COUNTER, RULE_METRIC, RULE_NO_PANIC};
 use stsl_audit::{audit, collect_workspace_sources, find_workspace_root, SourceFile};
 
 fn workspace_sources() -> Vec<SourceFile> {
@@ -57,6 +57,64 @@ fn deleting_an_async_report_counter_is_caught() {
             .iter()
             .any(|f| f.rule == RULE_COUNTER && f.message.contains("rollbacks")),
         "deleting the rollbacks counter must fire counter-accounting:\n{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn deleting_a_telemetry_counter_is_caught() {
+    // Drop the journal_dropped counter from the real report.rs: the
+    // JournalDrop trace kind becomes unaccounted and R3 must fire.
+    let mut files = workspace_sources();
+    let report_rs = files
+        .iter_mut()
+        .find(|f| f.path == REPORT_FILE)
+        .expect("report.rs in workspace");
+    let before = report_rs.text.len();
+    report_rs.text = report_rs
+        .text
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("pub journal_dropped:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(
+        report_rs.text.len() < before,
+        "the field should exist to delete"
+    );
+
+    let report = audit(&files);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_COUNTER && f.message.contains("journal_dropped")),
+        "deleting the journal_dropped counter must fire counter-accounting:\n{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn dropping_a_metric_from_the_snapshot_export_is_caught() {
+    // Rename the staleness label in the real registry: the metric silently
+    // vanishes from every exported snapshot, and R5 must fire.
+    let mut files = workspace_sources();
+    let registry = files
+        .iter_mut()
+        .find(|f| f.path == METRIC_FILE)
+        .expect("registry.rs in workspace");
+    let patched = registry
+        .text
+        .replace("\"gradient_staleness_us\"", "\"renamed_metric\"");
+    assert_ne!(patched, registry.text, "the label should exist to break");
+    registry.text = patched;
+
+    let report = audit(&files);
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_METRIC && f.message.contains("gradient_staleness_us")),
+        "un-exporting a metric must fire metric-accounting:\n{:#?}",
         report.findings
     );
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_split::{baselines::FedAvgTrainer, CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
 
 #[derive(Serialize)]
@@ -132,8 +132,10 @@ fn main() {
         )
     );
 
-    write_json(
+    write_results(
         "comm",
+        "comm_cost",
+        seed,
         &CommCost {
             data_source: source.to_string(),
             end_systems: clients,

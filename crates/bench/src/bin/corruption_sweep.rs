@@ -14,7 +14,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_simnet::{FaultPlan, Link, SimDuration, SimTime, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, GuardConfig, RetryPolicy, SchedulingPolicy,
@@ -190,8 +190,10 @@ fn main() {
         )
     );
 
-    write_json(
+    write_results(
         "guard",
+        "corruption_sweep",
+        seed,
         &CorruptionSweep {
             data_source: source.to_string(),
             end_systems: clients,

@@ -13,7 +13,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_simnet::{FaultPlan, Link, SimDuration, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, RetryPolicy, SchedulingPolicy, SplitConfig,
@@ -169,8 +169,10 @@ fn main() {
         )
     );
 
-    write_json(
+    write_results(
         "fault",
+        "fault_sweep",
+        seed,
         &FaultSweep {
             data_source: source.to_string(),
             end_systems: clients,

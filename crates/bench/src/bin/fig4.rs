@@ -13,7 +13,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, results_dir, write_json, Args};
+use stsl_bench::{load_data, render_table, results_dir, write_results, Args};
 use stsl_privacy::visualize::{capture_stages, fig4_triptych, stage_similarity};
 use stsl_split::{CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
 
@@ -127,8 +127,10 @@ fn main() {
         println!("WARNING: pooled stage unexpectedly more similar than conv stage");
     }
 
-    write_json(
+    write_results(
         "fig4",
+        "fig4",
+        seed,
         &Fig4 {
             data_source: source.to_string(),
             trained_epochs: epochs,

@@ -14,7 +14,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_privacy::measure_leakage;
 use stsl_split::{CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
 
@@ -129,8 +129,10 @@ fn main() {
         println!("=> leakage decreases with cut depth: deeper cuts are more private");
     }
 
-    write_json(
+    write_results(
         "leakage",
+        "leakage_sweep",
+        seed,
         &Leakage {
             data_source: source.to_string(),
             attack_epochs,

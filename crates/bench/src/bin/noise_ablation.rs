@@ -12,7 +12,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_privacy::measure_leakage;
 use stsl_split::{CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig};
 
@@ -116,8 +116,10 @@ fn main() {
     );
     println!("higher σ ⇒ lower leakage (PSNR/dCor fall) at the cost of accuracy");
 
-    write_json(
+    write_results(
         "noise",
+        "noise_ablation",
+        seed,
         &NoiseAblation {
             data_source: source.to_string(),
             cut,

@@ -18,8 +18,7 @@
 //! ```
 
 use serde::Serialize;
-use std::time::Instant;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_parallel::with_threads;
 use stsl_split::{CutPoint, SpatioTemporalTrainer, SplitConfig};
 use stsl_tensor::init::rng_from_seed;
@@ -48,9 +47,9 @@ struct SpeedupReport {
 fn median_ms(repeats: usize, mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..repeats)
         .map(|_| {
-            let start = Instant::now();
+            let start = stsl_split::WallTimer::start();
             f();
-            start.elapsed().as_secs_f64() * 1e3
+            start.seconds() * 1e3
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -128,8 +127,10 @@ fn main() {
         render_table(&["workload", "threads", "median ms", "speedup"], &table)
     );
 
-    write_json(
+    write_results(
         "parallel",
+        "parallel_speedup",
+        9,
         &SpeedupReport {
             hardware_threads,
             repeats,

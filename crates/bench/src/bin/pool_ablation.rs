@@ -14,7 +14,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_privacy::measure_leakage;
 use stsl_privacy::visualize::{capture_stages, stage_similarity};
 use stsl_split::{CnnArch, CutPoint, PoolKind, SpatioTemporalTrainer, SplitConfig};
@@ -129,8 +129,10 @@ fn main() {
         println!("=> average pooling leaks more: max-pooling's nonlinearity is doing privacy work, as the paper claims");
     }
 
-    write_json(
+    write_results(
         "pool",
+        "pool_ablation",
+        seed,
         &PoolAblation {
             data_source: source.to_string(),
             rows,

@@ -14,7 +14,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_simnet::{SimDuration, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, SchedulingPolicy, SplitConfig,
@@ -157,8 +157,10 @@ fn main() {
         )
     );
 
-    write_json(
+    write_results(
         "queue",
+        "queue_sweep",
+        seed,
         &QueueSweep {
             data_source: source.to_string(),
             end_systems: clients,

@@ -13,7 +13,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_simnet::{Link, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, SchedulingPolicy, SpatioTemporalTrainer,
@@ -130,8 +130,10 @@ fn main() {
          Accuracy stays near-flat because every batch still trains the one shared server model."
     );
 
-    write_json(
+    write_results(
         "scale",
+        "scale_sweep",
+        seed,
         &ScaleSweep {
             data_source: source.to_string(),
             cut,

@@ -14,7 +14,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_split::{
     baselines::CentralizedTrainer, CnnArch, CutPoint, PartitionKind, SpatioTemporalTrainer,
     SplitConfig,
@@ -97,7 +97,7 @@ fn main() {
             .learning_rate(lr)
             .partition(partition)
             .seed(seed);
-        let started = std::time::Instant::now();
+        let started = stsl_split::WallTimer::start();
         let report = if cut == 0 {
             // Cut 0 is the paper's "global model": identical to centralized
             // training on pooled data (verified by the equivalence tests).
@@ -116,7 +116,7 @@ fn main() {
             cut,
             report.label,
             acc * 100.0,
-            started.elapsed().as_secs_f64()
+            started.seconds()
         );
         rows.push(Row {
             cut,
@@ -164,8 +164,10 @@ fn main() {
         )
     );
 
-    write_json(
+    write_results(
         "table1",
+        "table1",
+        seed,
         &Table1 {
             data_source: source.to_string(),
             end_systems: clients,

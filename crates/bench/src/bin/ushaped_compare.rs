@@ -12,7 +12,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_json, Args};
+use stsl_bench::{load_data, render_table, write_results, Args};
 use stsl_split::{CnnArch, CutPoint, SpatioTemporalTrainer, SplitConfig, UShapedTrainer};
 
 #[derive(Serialize)]
@@ -126,8 +126,10 @@ fn main() {
     );
     println!("u-shaped doubles the per-batch round trips but keeps labels on site");
 
-    write_json(
+    write_results(
         "ushaped",
+        "ushaped_compare",
+        seed,
         &UShapedCompare {
             data_source: source.to_string(),
             end_systems: clients,

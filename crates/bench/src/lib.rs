@@ -8,7 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+pub mod results;
+
+pub use results::{write_results, write_results_deterministic, RESULTS_SCHEMA};
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use stsl_data::{cifar, ImageDataset, SyntheticCifar};
@@ -167,14 +170,6 @@ pub fn results_dir() -> PathBuf {
     let path = PathBuf::from(dir);
     std::fs::create_dir_all(&path).expect("create results directory");
     path
-}
-
-/// Serializes `value` as pretty JSON into `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{}.json", name));
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
-    std::fs::write(&path, json).expect("write result file");
-    println!("\nwrote {}", path.display());
 }
 
 /// The training/evaluation data for an experiment: real CIFAR-10 when the

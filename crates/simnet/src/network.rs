@@ -3,6 +3,7 @@
 use crate::{EndSystemId, EventQueue, LatencyStats, SimTime, StarTopology, TrafficCounter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use stsl_telemetry::{JournalKind, MetricId, TelemetryHub};
 
 /// Direction of a transfer in the star topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,6 +43,7 @@ pub struct SimNetwork<T> {
     uplink: Vec<TrafficCounter>,
     downlink: Vec<TrafficCounter>,
     latency: Vec<LatencyStats>,
+    telemetry: Option<TelemetryHub>,
 }
 
 impl<T> SimNetwork<T> {
@@ -61,7 +63,27 @@ impl<T> SimNetwork<T> {
             uplink: vec![TrafficCounter::new(); n],
             downlink: vec![TrafficCounter::new(); n],
             latency: (0..n).map(|_| LatencyStats::new()).collect(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry hub; every subsequent transfer records its
+    /// delivery latency ([`MetricId::UplinkLatency`] /
+    /// [`MetricId::DownlinkLatency`]) and every link-level loss is
+    /// journaled as [`JournalKind::NetworkDrop`].
+    pub fn attach_telemetry(&mut self, hub: TelemetryHub) {
+        self.telemetry = Some(hub);
+    }
+
+    /// The attached telemetry hub, if any.
+    pub fn telemetry(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref()
+    }
+
+    /// Detaches and returns the telemetry hub (e.g. to export after a
+    /// run).
+    pub fn take_telemetry(&mut self) -> Option<TelemetryHub> {
+        self.telemetry.take()
     }
 
     /// The topology the network runs over.
@@ -103,11 +125,21 @@ impl<T> SimNetwork<T> {
         match link.transfer(bytes, rng) {
             None => {
                 counter.record_drop();
+                if let Some(hub) = &mut self.telemetry {
+                    hub.journal(at.as_micros(), JournalKind::NetworkDrop, id.0 as u32);
+                }
                 false
             }
             Some(dur) => {
                 counter.record_delivery(bytes);
                 self.latency[id.0].record(dur);
+                if let Some(hub) = &mut self.telemetry {
+                    let metric = match direction {
+                        Direction::Uplink => MetricId::UplinkLatency,
+                        Direction::Downlink => MetricId::DownlinkLatency,
+                    };
+                    hub.record(metric, id.0 as u32, dur.as_micros());
+                }
                 self.queue.schedule(
                     at + dur,
                     Delivery {
@@ -240,6 +272,33 @@ mod tests {
             order
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn attached_telemetry_sees_latencies_and_drops() {
+        let mut n = net(&[10.0, 2.0]);
+        n.attach_telemetry(TelemetryHub::new(16));
+        n.send(EndSystemId(0), Direction::Uplink, 0, SimTime::ZERO, "a");
+        n.send(EndSystemId(1), Direction::Downlink, 0, SimTime::ZERO, "b");
+        let hub = n.telemetry().unwrap();
+        let up = hub
+            .registry()
+            .histogram(MetricId::UplinkLatency, 0)
+            .unwrap();
+        assert_eq!(up.count(), 1);
+        assert_eq!(up.max(), Some(10_000));
+        let down = hub
+            .registry()
+            .histogram(MetricId::DownlinkLatency, 1)
+            .unwrap();
+        assert_eq!(down.max(), Some(2_000));
+
+        let links = vec![Link::ideal().loss(0.999999)];
+        let mut lossy: SimNetwork<()> = SimNetwork::new(StarTopology::new(links), 1);
+        lossy.attach_telemetry(TelemetryHub::new(16));
+        lossy.send(EndSystemId(0), Direction::Uplink, 1, SimTime::ZERO, ());
+        let hub = lossy.take_telemetry().unwrap();
+        assert_eq!(hub.journal_log().count(JournalKind::NetworkDrop), 1);
     }
 
     #[test]

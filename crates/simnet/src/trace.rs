@@ -45,6 +45,10 @@ pub enum TraceKind {
     QuarantineDrop,
     /// The health watchdog rolled training back to an earlier checkpoint.
     Rollback,
+    /// A telemetry snapshot was emitted.
+    SnapshotEmit,
+    /// The telemetry journal evicted its oldest event to make room.
+    JournalDrop,
 }
 
 /// One traced event.

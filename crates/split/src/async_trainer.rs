@@ -54,6 +54,7 @@ use stsl_simnet::{
     corrupt_payload, EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime, StarTopology,
     TraceKind, TraceLog,
 };
+use stsl_telemetry::{JournalKind, MetricId, TelemetryHub};
 use stsl_tensor::init::{derive_seed, rng_from_seed};
 
 /// Timing knobs of the simulated deployment.
@@ -110,6 +111,8 @@ enum Event {
     ClientRecover(EndSystemId),
     /// Periodic auto-checkpoint.
     CheckpointTick,
+    /// Periodic telemetry snapshot.
+    TelemetrySnapshot,
 }
 
 /// Asynchronous trainer over a simulated network.
@@ -156,6 +159,9 @@ pub struct AsyncSplitTrainer {
     corrupted_rejected: u64,
     anomalies_rejected: u64,
     rollbacks: u64,
+    // Observability.
+    telemetry: Option<TelemetryHub>,
+    telemetry_every: Option<SimDuration>,
 }
 
 impl AsyncSplitTrainer {
@@ -252,6 +258,8 @@ impl AsyncSplitTrainer {
             corrupted_rejected: 0,
             anomalies_rejected: 0,
             rollbacks: 0,
+            telemetry: None,
+            telemetry_every: None,
         })
     }
 
@@ -305,6 +313,32 @@ impl AsyncSplitTrainer {
         self
     }
 
+    /// Enables telemetry (builder style): uplink/downlink latency, queue
+    /// depth, gradient staleness and service-time histograms per
+    /// end-system, a bounded event journal of `journal_capacity` events,
+    /// and a [`Snapshot`](stsl_telemetry::Snapshot) of every metric each
+    /// `every` of simulated time (plus one final snapshot when the run
+    /// drains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_telemetry(mut self, every: SimDuration, journal_capacity: usize) -> Self {
+        assert!(
+            every > SimDuration::ZERO,
+            "telemetry snapshot interval must be positive"
+        );
+        self.telemetry = Some(TelemetryHub::new(journal_capacity));
+        self.telemetry_every = Some(every);
+        self
+    }
+
+    /// The telemetry hub, if [`AsyncSplitTrainer::with_telemetry`] was
+    /// used.
+    pub fn telemetry(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref()
+    }
+
     /// The most recent auto-checkpoint, if any was taken.
     pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
         self.ring.latest()
@@ -346,6 +380,34 @@ impl AsyncSplitTrainer {
         EndSystemId(self.clients.len())
     }
 
+    /// Journals an event into the telemetry hub (if attached). A ring
+    /// eviction is itself an accountable loss: it is traced as
+    /// [`TraceKind::JournalDrop`] and surfaces as
+    /// `AsyncReport::journal_dropped`.
+    fn journal_event(&mut self, at: SimTime, kind: JournalKind, id: EndSystemId) {
+        let Some(hub) = &mut self.telemetry else {
+            return;
+        };
+        let evicted = hub.journal(at.as_micros(), kind, id.0 as u32);
+        if evicted {
+            self.trace_event(at, TraceKind::JournalDrop, id);
+        }
+    }
+
+    /// Emits one telemetry snapshot at `t` (traced as
+    /// [`TraceKind::SnapshotEmit`] and journaled).
+    fn emit_snapshot(&mut self, t: SimTime) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let server_id = self.server_trace_id();
+        if let Some(hub) = &mut self.telemetry {
+            hub.emit_snapshot(t.as_micros());
+        }
+        self.trace_event(t, TraceKind::SnapshotEmit, server_id);
+        self.journal_event(t, JournalKind::SnapshotEmit, server_id);
+    }
+
     /// Runs the configured number of client epochs to completion and
     /// evaluates on `test`.
     pub fn run(&mut self, test: &ImageDataset) -> AsyncReport {
@@ -380,6 +442,11 @@ impl AsyncSplitTrainer {
         if let Some(iv) = self.checkpoint_every {
             self.events
                 .schedule(SimTime::ZERO + iv, Event::CheckpointTick);
+        }
+        // First telemetry snapshot one interval in.
+        if let Some(iv) = self.telemetry_every {
+            self.events
+                .schedule(SimTime::ZERO + iv, Event::TelemetrySnapshot);
         }
         // Kick off: every client computes its first batch at t = 0. The
         // batch forwards are independent per client, so they fan out
@@ -426,7 +493,10 @@ impl AsyncSplitTrainer {
                         continue;
                     }
                     if self.guard.is_some() {
-                        match self.quarantine.admit(id.0, t) {
+                        match self
+                            .quarantine
+                            .admit_observed(id.0, t, self.telemetry.as_mut())
+                        {
                             QuarantineStatus::Dropped => {
                                 self.trace_event(t, TraceKind::QuarantineDrop, id);
                                 self.batches_lost_per_client[id.0] += 1;
@@ -440,8 +510,9 @@ impl AsyncSplitTrainer {
                         }
                     }
                     self.trace_event(t, TraceKind::Arrival, id);
+                    self.journal_event(t, JournalKind::Arrival, id);
                     self.liveness.observe(id, t);
-                    self.queue.push(t, msg);
+                    self.queue.push_observed(t, msg, self.telemetry.as_mut());
                     self.try_serve(t);
                 }
                 Event::ServerFree => {
@@ -453,6 +524,7 @@ impl AsyncSplitTrainer {
                         continue; // delivered into the void
                     }
                     self.trace_event(t, TraceKind::GradientDelivered, id);
+                    self.journal_event(t, JournalKind::GradientDelivered, id);
                     // A stale gradient (its batch was abandoned after a
                     // retry exhaustion or crash) is ignored; the client
                     // already moved on.
@@ -469,6 +541,7 @@ impl AsyncSplitTrainer {
                     }
                     self.retransmits += 1;
                     self.trace_event(t, TraceKind::Retransmit, id);
+                    self.journal_event(t, JournalKind::Retransmit, id);
                     self.send_uplink(msg, failures, t);
                 }
                 Event::DownlinkRetry { msg, failures } => {
@@ -478,6 +551,7 @@ impl AsyncSplitTrainer {
                     }
                     self.retransmits += 1;
                     self.trace_event(t, TraceKind::Retransmit, id);
+                    self.journal_event(t, JournalKind::Retransmit, id);
                     self.send_downlink(msg, failures, t);
                 }
                 Event::CorruptUplink { msg, failures } => {
@@ -527,6 +601,7 @@ impl AsyncSplitTrainer {
                     self.crash_events += 1;
                     self.down_since[id.0] = Some(t);
                     self.trace_event(t, TraceKind::ClientCrash, id);
+                    self.journal_event(t, JournalKind::ClientCrash, id);
                     if self.clients[id.0].outstanding().is_some() {
                         self.clients[id.0].abandon_outstanding();
                         self.batches_lost_per_client[id.0] += 1;
@@ -542,6 +617,7 @@ impl AsyncSplitTrainer {
                         self.downtime_us[id.0] += t.since(s).as_micros();
                     }
                     self.trace_event(t, TraceKind::ClientRecover, id);
+                    self.journal_event(t, JournalKind::ClientRecover, id);
                     let state = self.ring.latest().map(|c| c.client_states[id.0].clone());
                     if let Some(state) = state {
                         // Crash-recovery restore: the private layers roll
@@ -549,6 +625,7 @@ impl AsyncSplitTrainer {
                         self.clients[id.0].model_mut().load_state_dict(&state);
                         self.checkpoint_restores += 1;
                         self.trace_event(t, TraceKind::CheckpointRestore, id);
+                        self.journal_event(t, JournalKind::CheckpointRestore, id);
                     }
                     self.launch_next_batch(id, t);
                 }
@@ -563,9 +640,21 @@ impl AsyncSplitTrainer {
                         }
                     }
                 }
+                Event::TelemetrySnapshot => {
+                    self.emit_snapshot(t);
+                    if let Some(iv) = self.telemetry_every {
+                        // Same liveness discipline as CheckpointTick.
+                        if !self.events.is_empty() {
+                            self.events.schedule(t + iv, Event::TelemetrySnapshot);
+                        }
+                    }
+                }
             }
         }
         let end = self.events.now();
+        // A final snapshot so short runs (and the tail of long ones) are
+        // always covered.
+        self.emit_snapshot(end);
         // Clients still down when the simulation ends accrue downtime to
         // the end of the run.
         for i in 0..self.clients.len() {
@@ -613,6 +702,16 @@ impl AsyncSplitTrainer {
             quarantine_drops: self.quarantine.drops(),
             quarantine_releases: self.quarantine.releases(),
             rollbacks: self.rollbacks,
+            snapshots_emitted: self
+                .telemetry
+                .as_ref()
+                .map(|h| h.snapshots().len() as u64)
+                .unwrap_or(0),
+            journal_dropped: self
+                .telemetry
+                .as_ref()
+                .map(|h| h.journal_log().evicted())
+                .unwrap_or(0),
             comm: self.comm,
         }
     }
@@ -644,6 +743,7 @@ impl AsyncSplitTrainer {
         self.checkpoint_saves += 1;
         let server_id = self.server_trace_id();
         self.trace_event(t, TraceKind::CheckpointSave, server_id);
+        self.journal_event(t, JournalKind::CheckpointSave, server_id);
     }
 
     /// Watchdog-triggered rollback: restore the newest ring checkpoint
@@ -655,6 +755,7 @@ impl AsyncSplitTrainer {
         self.rollbacks += 1;
         let server_id = self.server_trace_id();
         self.trace_event(t, TraceKind::Rollback, server_id);
+        self.journal_event(t, JournalKind::Rollback, server_id);
         if let Some(ckpt) = self.ring.pop_latest() {
             self.server.model_mut().load_state_dict(&ckpt.server_state);
             for (client, state) in self.clients.iter_mut().zip(&ckpt.client_states) {
@@ -714,11 +815,15 @@ impl AsyncSplitTrainer {
                 } else {
                     Event::Arrival(msg)
                 };
+                if let Some(hub) = &mut self.telemetry {
+                    hub.record(MetricId::UplinkLatency, id.0 as u32, dur.as_micros());
+                }
                 self.events.schedule(at + dur, deliver);
             }
             None => {
                 self.network_drops += 1;
                 self.trace_event(at, TraceKind::NetworkDrop, id);
+                self.journal_event(at, JournalKind::NetworkDrop, id);
                 let failures = failures + 1;
                 if self.retry.may_retry(failures) {
                     let delay = self.retry.backoff(failures, &mut self.retry_rng);
@@ -808,11 +913,15 @@ impl AsyncSplitTrainer {
                 } else {
                     Event::GradArrival(msg)
                 };
+                if let Some(hub) = &mut self.telemetry {
+                    hub.record(MetricId::DownlinkLatency, id.0 as u32, dur.as_micros());
+                }
                 self.events.schedule(at + dur, deliver);
             }
             None => {
                 self.network_drops += 1;
                 self.trace_event(at, TraceKind::NetworkDrop, id);
+                self.journal_event(at, JournalKind::NetworkDrop, id);
                 let failures = failures + 1;
                 if self.retry.may_retry(failures) {
                     let delay = self.retry.backoff(failures, &mut self.retry_rng);
@@ -850,9 +959,10 @@ impl AsyncSplitTrainer {
         if self.server_busy_until > t || self.queue.is_empty() {
             return;
         }
-        let (job, discarded) = self.queue.pop(t);
+        let (job, discarded) = self.queue.pop_observed(t, self.telemetry.as_mut());
         for msg in discarded {
             self.trace_event(t, TraceKind::SchedulerDrop, msg.from);
+            self.journal_event(t, JournalKind::SchedulerDrop, msg.from);
             self.batches_lost_per_client[msg.from.0] += 1;
             // The client is still awaiting a gradient for this batch.
             self.events.schedule(t, Event::BatchAbandon(msg.from));
@@ -860,26 +970,34 @@ impl AsyncSplitTrainer {
         let Some(job) = job else { return };
         let id = job.msg.from;
         self.trace_event(t, TraceKind::ServiceStart, id);
-        let out = if let Some(g) = self.guard {
-            match self.server.process_guarded(&job.msg, &g) {
-                Ok(out) => out,
-                Err(_) => {
-                    // Ingress validation rejected the update before it
-                    // touched the model. Validation is cheap, so the
-                    // server stays free for the next queued job.
-                    self.anomalies_rejected += 1;
-                    self.trace_event(t, TraceKind::AnomalyRejected, id);
-                    self.batches_lost_per_client[id.0] += 1;
-                    if self.quarantine.record_anomaly(id.0, t) {
-                        self.trace_event(t, TraceKind::Quarantine, id);
-                    }
-                    self.events.schedule(t, Event::BatchAbandon(id));
-                    self.try_serve(t);
-                    return;
+        self.journal_event(t, JournalKind::ServiceStart, id);
+        let service_us = self.compute.server_batch.as_micros();
+        let out = match self.server.process_observed(
+            &job.msg,
+            self.guard.as_ref(),
+            self.telemetry.as_mut(),
+            service_us,
+        ) {
+            Ok(out) => out,
+            Err(_) => {
+                // Only reachable with the guard on: ingress validation
+                // rejected the update before it touched the model.
+                // Validation is cheap, so the server stays free for the
+                // next queued job.
+                self.anomalies_rejected += 1;
+                self.trace_event(t, TraceKind::AnomalyRejected, id);
+                self.journal_event(t, JournalKind::AnomalyRejected, id);
+                self.batches_lost_per_client[id.0] += 1;
+                if self
+                    .quarantine
+                    .record_anomaly_observed(id.0, t, self.telemetry.as_mut())
+                {
+                    self.trace_event(t, TraceKind::Quarantine, id);
                 }
+                self.events.schedule(t, Event::BatchAbandon(id));
+                self.try_serve(t);
+                return;
             }
-        } else {
-            self.server.process(&job.msg)
         };
         let done = t + self.compute.server_batch;
         self.server_busy_until = done;
@@ -1059,6 +1177,99 @@ mod tests {
         assert_eq!(trace.count(TraceKind::ClientCrash), 0);
         // CSV export is well-formed.
         assert_eq!(trace.to_csv().lines().count(), 13);
+    }
+
+    #[test]
+    fn telemetry_collects_distributions_and_journal() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(32);
+        let test = data(8);
+        let top = StarTopology::new(vec![Link::wan(5.0, 100.0), Link::wan(60.0, 100.0)]);
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_telemetry(SimDuration::from_millis(100), 64);
+        t.enable_trace();
+        let r = t.run(&test);
+        assert!(r.snapshots_emitted > 0);
+        assert_eq!(r.journal_dropped, 0);
+        let hub = t.telemetry().expect("telemetry enabled");
+        assert_eq!(hub.snapshots().len() as u64, r.snapshots_emitted);
+        // Both clients uplinked twice; the slow link's latencies dominate.
+        let up0 = hub
+            .registry()
+            .histogram(stsl_telemetry::MetricId::UplinkLatency, 0)
+            .unwrap();
+        let up1 = hub
+            .registry()
+            .histogram(stsl_telemetry::MetricId::UplinkLatency, 1)
+            .unwrap();
+        assert_eq!(up0.count(), 2);
+        assert_eq!(up1.count(), 2);
+        assert!(up1.p50() > up0.p50());
+        // Staleness and service time were recorded at apply time.
+        assert!(hub
+            .registry()
+            .histogram(stsl_telemetry::MetricId::GradientStaleness, 0)
+            .is_some());
+        let svc = hub
+            .registry()
+            .histogram(stsl_telemetry::MetricId::ServiceTime, 0)
+            .unwrap();
+        assert_eq!(svc.max(), Some(3_000)); // ComputeModel::default
+
+        // The journal saw every protocol milestone.
+        let journal = hub.journal_log();
+        assert_eq!(journal.count(JournalKind::Arrival), 4);
+        assert_eq!(journal.count(JournalKind::ServiceStart), 4);
+        assert_eq!(journal.count(JournalKind::GradientDelivered), 4);
+        assert!(journal.count(JournalKind::SnapshotEmit) > 0);
+        // Snapshot emissions are traced with the same discipline as every
+        // other counter.
+        let trace = t.trace().unwrap();
+        assert_eq!(
+            trace.count(TraceKind::SnapshotEmit) as u64,
+            r.snapshots_emitted
+        );
+        assert_eq!(trace.count(TraceKind::JournalDrop), 0);
+    }
+
+    #[test]
+    fn tiny_journal_capacity_reports_evictions() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(32);
+        let test = data(8);
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_telemetry(SimDuration::from_millis(100), 2);
+        t.enable_trace();
+        let r = t.run(&test);
+        assert!(r.journal_dropped > 0, "a 2-slot ring must evict");
+        let hub = t.telemetry().unwrap();
+        assert_eq!(hub.journal_log().evicted(), r.journal_dropped);
+        assert_eq!(hub.journal_log().len(), 2);
+        assert_eq!(
+            t.trace().unwrap().count(TraceKind::JournalDrop) as u64,
+            r.journal_dropped
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! [`CheckpointRing`](crate::CheckpointRing) when training diverges anyway.
 
 use stsl_simnet::{SimDuration, SimTime};
+use stsl_telemetry::{JournalKind, TelemetryHub};
 use stsl_tensor::Tensor;
 
 /// Tuning knobs for the integrity guard. All-default values are sized for
@@ -189,6 +190,29 @@ impl QuarantineTracker {
         }
     }
 
+    /// [`QuarantineTracker::admit`] that also journals the quarantine
+    /// life-cycle transitions ([`JournalKind::QuarantineDrop`] /
+    /// [`JournalKind::QuarantineRelease`]) into an attached telemetry hub.
+    pub fn admit_observed(
+        &mut self,
+        id: usize,
+        at: SimTime,
+        telemetry: Option<&mut TelemetryHub>,
+    ) -> QuarantineStatus {
+        let status = self.admit(id, at);
+        if let Some(hub) = telemetry {
+            let kind = match status {
+                QuarantineStatus::Dropped => Some(JournalKind::QuarantineDrop),
+                QuarantineStatus::Released => Some(JournalKind::QuarantineRelease),
+                QuarantineStatus::Clear => None,
+            };
+            if let Some(kind) = kind {
+                hub.journal(at.as_micros(), kind, id.min(u32::MAX as usize) as u32);
+            }
+        }
+        status
+    }
+
     /// Records an ingress anomaly from `id`. Returns `true` when this
     /// anomaly pushed the end-system over the threshold into quarantine.
     /// Unknown ids are ignored (they are already barred by [`Self::admit`]).
@@ -204,6 +228,28 @@ impl QuarantineTracker {
         } else {
             false
         }
+    }
+
+    /// [`QuarantineTracker::record_anomaly`] that also journals the
+    /// quarantine entry ([`JournalKind::Quarantine`]) when the anomaly
+    /// trips the threshold.
+    pub fn record_anomaly_observed(
+        &mut self,
+        id: usize,
+        at: SimTime,
+        telemetry: Option<&mut TelemetryHub>,
+    ) -> bool {
+        let quarantined = self.record_anomaly(id, at);
+        if quarantined {
+            if let Some(hub) = telemetry {
+                hub.journal(
+                    at.as_micros(),
+                    JournalKind::Quarantine,
+                    id.min(u32::MAX as usize) as u32,
+                );
+            }
+        }
+        quarantined
     }
 
     /// Records a clean, accepted update from `id` (decays its score).
@@ -389,6 +435,36 @@ mod tests {
         assert_eq!(q.quarantines(), 0);
         // Known ids are unaffected.
         assert_eq!(q.admit(1, t(3)), QuarantineStatus::Clear);
+    }
+
+    #[test]
+    fn observed_quarantine_transitions_are_journaled() {
+        let cfg = GuardConfig {
+            quarantine_threshold: 2.0,
+            probation: SimDuration::from_millis(10),
+            ..GuardConfig::default()
+        };
+        let mut q = QuarantineTracker::new(1, &cfg);
+        let mut hub = TelemetryHub::new(16);
+        q.record_anomaly_observed(0, t(0), Some(&mut hub));
+        assert!(q.record_anomaly_observed(0, t(1), Some(&mut hub)));
+        assert_eq!(hub.journal_log().count(JournalKind::Quarantine), 1);
+        assert_eq!(
+            q.admit_observed(0, t(5), Some(&mut hub)),
+            QuarantineStatus::Dropped
+        );
+        assert_eq!(
+            q.admit_observed(0, t(20), Some(&mut hub)),
+            QuarantineStatus::Released
+        );
+        // Clear admissions stay out of the journal.
+        assert_eq!(
+            q.admit_observed(0, t(21), Some(&mut hub)),
+            QuarantineStatus::Clear
+        );
+        assert_eq!(hub.journal_log().count(JournalKind::QuarantineDrop), 1);
+        assert_eq!(hub.journal_log().count(JournalKind::QuarantineRelease), 1);
+        assert_eq!(hub.journal_log().len(), 3);
     }
 
     #[test]

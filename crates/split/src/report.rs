@@ -162,6 +162,12 @@ pub struct AsyncReport {
     /// Watchdog rollbacks to an earlier checkpoint.
     #[serde(default)]
     pub rollbacks: u64,
+    /// Telemetry snapshots emitted during the run.
+    #[serde(default)]
+    pub snapshots_emitted: u64,
+    /// Telemetry journal events evicted because the ring was full.
+    #[serde(default)]
+    pub journal_dropped: u64,
     /// Communication totals.
     pub comm: CommReport,
 }
@@ -247,6 +253,8 @@ mod tests {
             quarantine_drops: 0,
             quarantine_releases: 0,
             rollbacks: 0,
+            snapshots_emitted: 0,
+            journal_dropped: 0,
             comm: CommReport::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
@@ -279,5 +287,7 @@ mod tests {
         assert_eq!(r.corrupted_payloads, 0);
         assert_eq!(r.quarantines, 0);
         assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.snapshots_emitted, 0);
+        assert_eq!(r.journal_dropped, 0);
     }
 }

@@ -12,6 +12,7 @@
 use crate::protocol::ActivationMsg;
 use std::collections::VecDeque;
 use stsl_simnet::{SimDuration, SimTime};
+use stsl_telemetry::{MetricId, TelemetryHub};
 
 /// How the server picks the next queued activation batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +102,21 @@ impl ArrivalQueue {
         self.depth_samples.push(self.pending.len());
     }
 
+    /// [`ArrivalQueue::push`] that also records the post-insert queue
+    /// depth as [`MetricId::QueueDepth`] for the arriving end-system.
+    pub fn push_observed(
+        &mut self,
+        arrived_at: SimTime,
+        msg: ActivationMsg,
+        telemetry: Option<&mut TelemetryHub>,
+    ) {
+        let actor = msg.from.0 as u32;
+        self.push(arrived_at, msg);
+        if let Some(hub) = telemetry {
+            hub.record(MetricId::QueueDepth, actor, self.pending.len() as u64);
+        }
+    }
+
     /// Pops the next batch to serve at time `now` according to the policy.
     ///
     /// For [`SchedulingPolicy::StalenessDrop`], expired batches are
@@ -137,6 +153,25 @@ impl ArrivalQueue {
         if let Some(job) = &chosen {
             self.served_per_client[job.msg.from.0] += 1;
             self.wait_samples.push(now.since(job.arrived_at));
+        }
+        (chosen, discarded)
+    }
+
+    /// [`ArrivalQueue::pop`] that also records the chosen batch's age at
+    /// apply time as [`MetricId::GradientStaleness`] — the queueing delay
+    /// between arrival and the server actually consuming the update.
+    pub fn pop_observed(
+        &mut self,
+        now: SimTime,
+        telemetry: Option<&mut TelemetryHub>,
+    ) -> (Option<QueuedJob>, Vec<ActivationMsg>) {
+        let (chosen, discarded) = self.pop(now);
+        if let (Some(hub), Some(job)) = (telemetry, &chosen) {
+            hub.record(
+                MetricId::GradientStaleness,
+                job.msg.from.0 as u32,
+                now.since(job.arrived_at).as_micros(),
+            );
         }
         (chosen, discarded)
     }
@@ -303,6 +338,26 @@ mod tests {
             q.pop(t(10));
         }
         assert!(q.service_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn observed_push_and_pop_feed_telemetry() {
+        let mut hub = TelemetryHub::new(8);
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 2);
+        q.push_observed(t(0), msg(0, 0), Some(&mut hub));
+        q.push_observed(t(1), msg(1, 0), Some(&mut hub));
+        let (job, _) = q.pop_observed(t(5), Some(&mut hub));
+        assert_eq!(job.unwrap().msg.from, EndSystemId(0));
+        let depth = hub.registry().histogram(MetricId::QueueDepth, 1).unwrap();
+        assert_eq!(depth.max(), Some(2));
+        let stale = hub
+            .registry()
+            .histogram(MetricId::GradientStaleness, 0)
+            .unwrap();
+        assert_eq!(stale.max(), Some(5_000));
+        // Passing no hub behaves exactly like the plain methods.
+        let (job, _) = q.pop_observed(t(6), None);
+        assert_eq!(job.unwrap().msg.from, EndSystemId(1));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use stsl_nn::loss::{Loss, SoftmaxCrossEntropy};
 use stsl_nn::metrics::RunningMean;
 use stsl_nn::optim::Optimizer;
 use stsl_nn::{Mode, Sequential};
+use stsl_telemetry::{MetricId, TelemetryHub};
 use stsl_tensor::Tensor;
 
 /// Result of the server processing one activation batch.
@@ -119,6 +120,31 @@ impl CentralServer {
     ) -> Result<ServerStepOutput, Anomaly> {
         validate_update(&msg.activations, guard.max_activation_rms)?;
         Ok(self.process(msg))
+    }
+
+    /// Ingress path with optional guard and telemetry: validates when a
+    /// guard is given, then processes and records the batch's service
+    /// time as [`MetricId::ServiceTime`] for the originating end-system.
+    ///
+    /// # Errors
+    ///
+    /// As [`CentralServer::process_guarded`]: rejected updates mutate no
+    /// server state and record no service time.
+    pub fn process_observed(
+        &mut self,
+        msg: &ActivationMsg,
+        guard: Option<&GuardConfig>,
+        telemetry: Option<&mut TelemetryHub>,
+        service_us: u64,
+    ) -> Result<ServerStepOutput, Anomaly> {
+        if let Some(g) = guard {
+            validate_update(&msg.activations, g.max_activation_rms)?;
+        }
+        let out = self.process(msg);
+        if let Some(hub) = telemetry {
+            hub.record(MetricId::ServiceTime, msg.from.0 as u32, service_us);
+        }
+        Ok(out)
     }
 
     /// Current learning rate of the server optimizer.
@@ -275,6 +301,29 @@ mod tests {
         let out = server.process_guarded(&clean, &guard).unwrap();
         assert_eq!(out.gradient.grad.dims(), clean.activations.dims());
         assert_eq!(server.steps(), 1);
+    }
+
+    #[test]
+    fn observed_process_records_service_time_only_on_success() {
+        let (mut server, arch) = make_server(1);
+        let guard = GuardConfig::default();
+        let mut hub = TelemetryHub::new(8);
+
+        let mut poison = activation_msg(&arch, 1, 4, 0);
+        poison.activations.as_mut_slice()[0] = f32::NAN;
+        assert!(server
+            .process_observed(&poison, Some(&guard), Some(&mut hub), 1_000)
+            .is_err());
+        assert!(hub.registry().histogram(MetricId::ServiceTime, 0).is_none());
+
+        let clean = activation_msg(&arch, 1, 4, 0);
+        let out = server
+            .process_observed(&clean, Some(&guard), Some(&mut hub), 1_000)
+            .unwrap();
+        assert_eq!(out.gradient.to, clean.from);
+        let h = hub.registry().histogram(MetricId::ServiceTime, 0).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(1_000));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use stsl_data::{ImageDataset, Partition};
 use stsl_nn::metrics::RunningMean;
 use stsl_parallel::{par_map_mut, ChunkPolicy};
 use stsl_simnet::EndSystemId;
+use stsl_telemetry::{JournalKind, TelemetryHub};
 use stsl_tensor::init::derive_seed;
 
 /// Error constructing a trainer.
@@ -43,6 +44,7 @@ pub struct SpatioTemporalTrainer {
     ring: CheckpointRing,
     anomalies_rejected: u64,
     rollbacks: u64,
+    telemetry: Option<TelemetryHub>,
 }
 
 impl SpatioTemporalTrainer {
@@ -96,7 +98,30 @@ impl SpatioTemporalTrainer {
             ring: CheckpointRing::new(1),
             anomalies_rejected: 0,
             rollbacks: 0,
+            telemetry: None,
         })
+    }
+
+    /// Enables the telemetry hub. The synchronous trainer has no simulated
+    /// clock, so journal entries and snapshots are stamped with a logical
+    /// time: the server's global step count. One snapshot is emitted per
+    /// epoch.
+    pub fn enable_telemetry(&mut self, journal_capacity: usize) {
+        self.telemetry = Some(TelemetryHub::new(journal_capacity));
+    }
+
+    /// The telemetry hub, when [`enable_telemetry`](Self::enable_telemetry)
+    /// was called.
+    pub fn telemetry(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref()
+    }
+
+    /// Journals `kind` at the current logical time (server step count).
+    fn journal(&mut self, kind: JournalKind, actor: u32) {
+        let at = self.server.steps();
+        if let Some(hub) = &mut self.telemetry {
+            hub.journal(at, kind, actor);
+        }
     }
 
     /// Enables the data-plane integrity guard: incoming activations are
@@ -177,11 +202,13 @@ impl SpatioTemporalTrainer {
                 remaining = true;
                 self.comm.uplink_bytes += msg.encoded_len() as u64;
                 self.comm.uplink_messages += 1;
+                self.journal(JournalKind::ServiceStart, i as u32);
                 let out = if let Some(g) = guard {
                     match self.server.process_guarded(msg, &g) {
                         Ok(out) => out,
                         Err(_) => {
                             self.anomalies_rejected += 1;
+                            self.journal(JournalKind::AnomalyRejected, i as u32);
                             abandoned[i] = true;
                             grads.push(None);
                             continue;
@@ -249,6 +276,8 @@ impl SpatioTemporalTrainer {
     /// progressively older ring entries.
     fn rollback(&mut self, guard: &GuardConfig) {
         self.rollbacks += 1;
+        let server_actor = self.clients.len() as u32;
+        self.journal(JournalKind::Rollback, server_actor);
         if let Some(ckpt) = self.ring.pop_latest() {
             self.restore(&ckpt)
                 .expect("ring checkpoints come from this deployment");
@@ -337,6 +366,12 @@ impl SpatioTemporalTrainer {
             if self.guard.is_some() && train_loss.is_finite() {
                 let ckpt = self.checkpoint();
                 self.ring.push(ckpt);
+            }
+            let server_actor = self.clients.len() as u32;
+            self.journal(JournalKind::SnapshotEmit, server_actor);
+            let at = self.server.steps();
+            if let Some(hub) = &mut self.telemetry {
+                hub.emit_snapshot(at);
             }
         }
         let per_client_accuracy = self.evaluate_per_client(test);
@@ -471,6 +506,31 @@ mod tests {
             .participation(1.5)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn telemetry_journals_sync_protocol_with_logical_clock() {
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(2)
+            .batch_size(8)
+            .seed(3);
+        let train = data(32);
+        let test = data(16);
+        let mut t = SpatioTemporalTrainer::new(cfg, &train).unwrap();
+        t.enable_telemetry(256);
+        let r = t.train(&test);
+        assert_eq!(r.epochs.len(), 2);
+        let hub = t.telemetry().expect("telemetry enabled");
+        // One snapshot per epoch, stamped with the logical step clock.
+        assert_eq!(hub.snapshots().len(), 2);
+        // 32 samples, 2 clients × 16 samples → 2 batches each × 2 epochs.
+        let journal = hub.journal_log();
+        assert_eq!(journal.count(JournalKind::ServiceStart), 8);
+        assert_eq!(journal.count(JournalKind::SnapshotEmit), 2);
+        // Logical timestamps are non-decreasing server step counts.
+        let stamps: Vec<u64> = journal.iter().map(|e| e.at_us).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(stamps.last().copied(), Some(8));
     }
 
     #[test]

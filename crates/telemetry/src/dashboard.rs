@@ -1,0 +1,79 @@
+//! Plain-text dashboard: a fixed-width, deterministic rendering of one
+//! [`Snapshot`] for terminals and CI logs.
+
+use crate::registry::Snapshot;
+
+const BAR_WIDTH: usize = 24;
+
+/// Render a snapshot as a plain-text dashboard.
+///
+/// One block per metric: a per-end-system table of count/p50/p90/p99/max
+/// plus an ASCII bar proportional to that actor's sample count (relative
+/// to the busiest actor of the same metric). Output is a pure function of
+/// the snapshot, so it is byte-identical across runs and thread counts.
+pub fn render_dashboard(snapshot: &Snapshot) -> String {
+    let mut out = format!(
+        "telemetry snapshot seq={} at t={:.3}s\n",
+        snapshot.seq,
+        snapshot.at_us as f64 / 1e6
+    );
+    for m in &snapshot.metrics {
+        out.push_str(&format!("\n{}\n", m.metric.as_str()));
+        if m.series.is_empty() {
+            out.push_str("  (no samples)\n");
+            continue;
+        }
+        out.push_str(&format!(
+            "  {:>5} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "actor", "count", "p50", "p90", "p99", "max"
+        ));
+        let busiest = m.series.iter().map(|s| s.count).max().unwrap_or(1).max(1);
+        for s in &m.series {
+            let filled = ((s.count * BAR_WIDTH as u64) / busiest) as usize;
+            out.push_str(&format!(
+                "  {:>5} {:>8} {:>10} {:>10} {:>10} {:>10}  {}\n",
+                s.actor,
+                s.count,
+                s.p50,
+                s.p90,
+                s.p99,
+                s.max,
+                "#".repeat(filled.clamp(1, BAR_WIDTH))
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricId, MetricRegistry};
+
+    #[test]
+    fn dashboard_renders_every_metric_block() {
+        let mut reg = MetricRegistry::new();
+        reg.record(MetricId::UplinkLatency, 0, 5_000);
+        reg.record(MetricId::UplinkLatency, 1, 9_000);
+        reg.record(MetricId::UplinkLatency, 1, 9_500);
+        let text = render_dashboard(&reg.snapshot(2_500_000, 3));
+        assert!(text.starts_with("telemetry snapshot seq=3 at t=2.500s\n"));
+        for id in MetricId::ALL {
+            assert!(text.contains(id.as_str()), "{} block missing", id.as_str());
+        }
+        // Silent metrics say so instead of vanishing.
+        assert!(text.contains("(no samples)"));
+        // The busiest actor gets the full bar.
+        assert!(text.contains(&"#".repeat(24)));
+    }
+
+    #[test]
+    fn dashboard_is_deterministic() {
+        let mut reg = MetricRegistry::new();
+        for i in 0..10 {
+            reg.record(MetricId::QueueDepth, i % 2, u64::from(i));
+        }
+        let snap = reg.snapshot(1_000, 0);
+        assert_eq!(render_dashboard(&snap), render_dashboard(&snap));
+    }
+}

@@ -1,0 +1,307 @@
+//! Log-linear HDR-style histogram with a fixed bucket layout and an exact,
+//! order-independent merge.
+//!
+//! # Bucket layout
+//!
+//! Values are `u64` (the simulation's native unit is microseconds). The
+//! first [`2^SUB_BITS`](SUB_BITS) buckets are exact (one bucket per value);
+//! above that, each power-of-two octave is split into `2^SUB_BITS` linear
+//! sub-buckets, so the relative error of any reported quantile is bounded
+//! by `2^-SUB_BITS` (6.25% with `SUB_BITS = 4`). The layout is a compile
+//! time constant — every histogram in the workspace has the same
+//! [`BUCKETS`] buckets, which is what makes merge a plain element-wise
+//! `u64` add: associative, commutative and bitwise-deterministic.
+
+/// Linear sub-bucket resolution: each octave is split into `2^SUB_BITS`
+/// buckets.
+pub const SUB_BITS: u32 = 4;
+
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total number of buckets: `2^SUB_BITS` exact low buckets plus
+/// `2^SUB_BITS` sub-buckets for each of the `64 - SUB_BITS` octaves.
+pub const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Bucket index for a value. Total order preserving: `a <= b` implies
+/// `bucket_index(a) <= bucket_index(b)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - SUB_BITS)) & (SUB - 1)) as usize;
+    SUB as usize + (exp - SUB_BITS) as usize * SUB as usize + sub
+}
+
+/// Smallest value that lands in bucket `index` (the value a quantile
+/// readout reports for that bucket).
+pub fn bucket_lower(index: usize) -> u64 {
+    let sub = SUB as usize;
+    if index < sub {
+        return index as u64;
+    }
+    let octave = (index - sub) / sub;
+    let within = ((index - sub) % sub) as u64;
+    (SUB + within) << octave
+}
+
+/// Fixed-layout log-linear histogram of `u64` samples.
+///
+/// Tracks exact `count`, `sum`, `min` and `max` alongside the bucket
+/// counts, so the extremes are always reported exactly even though interior
+/// quantiles are bucket lower bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Fold another histogram into this one. Element-wise integer adds
+    /// only, so merge is associative, commutative and bitwise
+    /// deterministic: any merge tree over the same set of single-sample
+    /// histograms yields an identical struct.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact smallest recorded sample, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded sample, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the recorded samples (0.0 when empty). Informational only —
+    /// deterministic output paths stick to integer quantiles.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (length [`BUCKETS`]).
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// holding the sample of rank `ceil(q * count)`, clamped into
+    /// `[min, max]` so the extremes stay exact. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Histogram::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_constants() {
+        assert_eq!(BUCKETS, 976);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn index_is_monotone_and_lower_bound_inverts_it() {
+        // Exhaustive near the low/octave boundaries, spot checks above.
+        let probes: Vec<u64> = (0..2048)
+            .chain([
+                4095,
+                4096,
+                4097,
+                1 << 20,
+                (1 << 20) + 7,
+                u64::MAX - 1,
+                u64::MAX,
+            ])
+            .collect();
+        let mut prev = 0usize;
+        for (k, &v) in probes.iter().enumerate() {
+            let idx = bucket_index(v);
+            if k > 0 {
+                assert!(idx >= prev, "index not monotone at {v}");
+            }
+            prev = idx;
+            let lo = bucket_lower(idx);
+            assert!(lo <= v, "lower bound {lo} above value {v}");
+            if idx + 1 < BUCKETS {
+                assert!(bucket_lower(idx + 1) > v, "value {v} not below next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn low_values_are_exact() {
+        for v in 0..16 {
+            assert_eq!(bucket_lower(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn golden_percentiles_on_1_to_100() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        // Rank 50 is the value 50, whose bucket lower bound is exactly 50.
+        assert_eq!(h.p50(), 50);
+        // Rank 90 → value 90 lands in bucket [88, 92).
+        assert_eq!(h.p90(), 88);
+        // Rank 99 → value 99 lands in bucket [96, 100).
+        assert_eq!(h.p99(), 96);
+        // Rank 100 → value 100 is itself a bucket lower bound.
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.sum(), 5050);
+    }
+
+    #[test]
+    fn golden_percentiles_exact_below_sixteen() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 7, 9, 12] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 7);
+        assert_eq!(h.p90(), 12);
+        assert_eq!(h.p99(), 12);
+        assert_eq!(h.quantile(0.0), 3);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(123_456);
+        // The bucket lower bound is below 123_456, but clamping to
+        // [min, max] makes every quantile exact for one sample.
+        assert_eq!(h.p50(), 123_456);
+        assert_eq!(h.p99(), 123_456);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let samples = [1u64, 5, 16, 17, 1_000, 65_536, 1 << 40];
+        let mut whole = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &v) in samples.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = left.clone();
+        merge_pair(&mut merged, &right);
+        assert_eq!(merged, whole);
+        // Commutative.
+        let mut flipped = right.clone();
+        merge_pair(&mut flipped, &left);
+        assert_eq!(flipped, whole);
+        // Empty is the identity.
+        let mut with_empty = whole.clone();
+        merge_pair(&mut with_empty, &Histogram::new());
+        assert_eq!(with_empty, whole);
+    }
+
+    fn merge_pair(a: &mut Histogram, b: &Histogram) {
+        a.merge(b);
+    }
+}

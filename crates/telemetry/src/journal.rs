@@ -1,0 +1,220 @@
+//! Typed, bounded event journal.
+//!
+//! A ring buffer of the last `capacity` simulation events, stamped with
+//! sim-time microseconds supplied by the caller (never a host clock). When
+//! full, the oldest event is evicted; [`EventJournal::push`] reports the
+//! eviction so the caller can account for it (the async trainer traces it
+//! as `TraceKind::JournalDrop` and the audit's R3 rule holds that counter
+//! to the same liveness discipline as every other drop path).
+
+use std::collections::VecDeque;
+
+/// What happened. Mirrors the observable protocol events of both split
+/// trainers; the journal is typed so exports cannot drift into free-form
+/// strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JournalKind {
+    /// An activation message reached the server's arrival queue.
+    Arrival,
+    /// The server started processing a queued batch.
+    ServiceStart,
+    /// A gradient message was delivered back to its end-system.
+    GradientDelivered,
+    /// The scheduling policy discarded a queued batch.
+    SchedulerDrop,
+    /// The network lost a message.
+    NetworkDrop,
+    /// A lost message was retransmitted after a backoff.
+    Retransmit,
+    /// The ingress guard rejected an anomalous update.
+    AnomalyRejected,
+    /// An end-system entered quarantine.
+    Quarantine,
+    /// An end-system rejoined after quarantine.
+    QuarantineRelease,
+    /// An update was dropped because its sender was quarantined.
+    QuarantineDrop,
+    /// The health watchdog rolled the server back to a checkpoint.
+    Rollback,
+    /// An auto-checkpoint was taken.
+    CheckpointSave,
+    /// An end-system restored from a checkpoint after a crash.
+    CheckpointRestore,
+    /// An end-system crashed.
+    ClientCrash,
+    /// An end-system recovered.
+    ClientRecover,
+    /// A telemetry snapshot was emitted.
+    SnapshotEmit,
+}
+
+impl JournalKind {
+    /// Stable snake_case label used in JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JournalKind::Arrival => "arrival",
+            JournalKind::ServiceStart => "service_start",
+            JournalKind::GradientDelivered => "gradient_delivered",
+            JournalKind::SchedulerDrop => "scheduler_drop",
+            JournalKind::NetworkDrop => "network_drop",
+            JournalKind::Retransmit => "retransmit",
+            JournalKind::AnomalyRejected => "anomaly_rejected",
+            JournalKind::Quarantine => "quarantine",
+            JournalKind::QuarantineRelease => "quarantine_release",
+            JournalKind::QuarantineDrop => "quarantine_drop",
+            JournalKind::Rollback => "rollback",
+            JournalKind::CheckpointSave => "checkpoint_save",
+            JournalKind::CheckpointRestore => "checkpoint_restore",
+            JournalKind::ClientCrash => "client_crash",
+            JournalKind::ClientRecover => "client_recover",
+            JournalKind::SnapshotEmit => "snapshot_emit",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Simulation time in microseconds (a logical clock for the
+    /// synchronous trainer).
+    pub at_us: u64,
+    /// Event type.
+    pub kind: JournalKind,
+    /// The end-system (or server) the event is about.
+    pub actor: u32,
+}
+
+impl JournalEvent {
+    /// Render as one JSONL line (no trailing newline), fixed key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"at_us\":{},\"kind\":\"{}\",\"actor\":{}}}",
+            self.at_us,
+            self.kind.as_str(),
+            self.actor
+        )
+    }
+}
+
+/// Bounded ring buffer keeping the most recent events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventJournal {
+    events: VecDeque<JournalEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl EventJournal {
+    /// A journal keeping at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Append an event; returns `true` if an older event was evicted to
+    /// make room.
+    pub fn push(&mut self, at_us: u64, kind: JournalKind, actor: u32) -> bool {
+        let evicting = self.events.len() == self.capacity;
+        if evicting {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(JournalEvent { at_us, kind, actor });
+        evicting
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &JournalEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been journaled (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events evicted since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Retained events of a given kind.
+    pub fn count(&self, kind: JournalKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// JSONL export: one event per line, oldest first, trailing newline
+    /// after every line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_most_recent_and_reports_evictions() {
+        let mut j = EventJournal::new(3);
+        assert!(!j.push(1, JournalKind::Arrival, 0));
+        assert!(!j.push(2, JournalKind::ServiceStart, 0));
+        assert!(!j.push(3, JournalKind::GradientDelivered, 0));
+        assert!(j.push(4, JournalKind::Arrival, 1));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.evicted(), 1);
+        let first = j.iter().next().unwrap();
+        assert_eq!(first.at_us, 2);
+    }
+
+    #[test]
+    fn jsonl_lines_are_stable() {
+        let mut j = EventJournal::new(8);
+        j.push(1_500, JournalKind::Quarantine, 2);
+        j.push(2_500, JournalKind::Rollback, 7);
+        assert_eq!(
+            j.to_jsonl(),
+            "{\"at_us\":1500,\"kind\":\"quarantine\",\"actor\":2}\n\
+             {\"at_us\":2500,\"kind\":\"rollback\",\"actor\":7}\n"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut j = EventJournal::new(0);
+        assert_eq!(j.capacity(), 1);
+        assert!(!j.push(1, JournalKind::Arrival, 0));
+        assert!(j.push(2, JournalKind::Arrival, 0));
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn count_filters_by_kind() {
+        let mut j = EventJournal::new(8);
+        j.push(1, JournalKind::Arrival, 0);
+        j.push(2, JournalKind::Arrival, 1);
+        j.push(3, JournalKind::NetworkDrop, 1);
+        assert_eq!(j.count(JournalKind::Arrival), 2);
+        assert_eq!(j.count(JournalKind::NetworkDrop), 1);
+        assert_eq!(j.count(JournalKind::Rollback), 0);
+    }
+}

@@ -11,6 +11,8 @@
 //!   learning with a centralized server, schedulers and baselines
 //! * [`privacy`] — Fig. 4 visualization, inversion attacks, leakage
 //!   metrics
+//! * [`telemetry`] — deterministic observability: histograms, event
+//!   journal, snapshot export and the plain-text dashboard
 //!
 //! See `examples/quickstart.rs` for a complete training run and
 //! DESIGN.md for the experiment index.
@@ -24,6 +26,7 @@ pub use stsl_parallel as parallel;
 pub use stsl_privacy as privacy;
 pub use stsl_simnet as simnet;
 pub use stsl_split as split;
+pub use stsl_telemetry as telemetry;
 pub use stsl_tensor as tensor;
 
 #[cfg(test)]
@@ -68,5 +71,16 @@ mod tests {
     fn simnet_clock_reachable() {
         let t = simnet::SimTime::ZERO;
         assert_eq!(t.as_secs_f64(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_hub_reachable() {
+        let mut hub = telemetry::TelemetryHub::new(8);
+        hub.record(telemetry::MetricId::UplinkLatency, 0, 1_500);
+        hub.journal(10, telemetry::JournalKind::Arrival, 0);
+        let seq = hub.emit_snapshot(20);
+        assert_eq!(seq, 0);
+        let snap = hub.latest_snapshot().expect("snapshot emitted");
+        assert!(telemetry::render_dashboard(snap).contains("uplink_latency_us"));
     }
 }
