@@ -69,7 +69,7 @@ pub const REPORT_FILE: &str = "crates/split/src/report.rs";
 /// code is a `counter-accounting` finding — adding a trace kind forces the
 /// author to add (and emit) its counter, or extend this table in the same
 /// PR, where a reviewer sees both sides.
-pub const TRACE_COUNTERS: [(&str, &str); 20] = [
+pub const TRACE_COUNTERS: [(&str, &str); 26] = [
     ("Arrival", "uplink_messages"),
     ("ServiceStart", "served_per_client"),
     ("GradientDelivered", "downlink_messages"),
@@ -90,6 +90,12 @@ pub const TRACE_COUNTERS: [(&str, &str); 20] = [
     ("Rollback", "rollbacks"),
     ("SnapshotEmit", "snapshots_emitted"),
     ("JournalDrop", "journal_dropped"),
+    ("ClientJoin", "clients_joined"),
+    ("ClientLeave", "clients_departed"),
+    ("ClientRejoin", "rejoins"),
+    ("IngressShed", "batches_shed"),
+    ("BreakerTrip", "breaker_trips"),
+    ("DeadlinePartialApply", "deadline_partial_applies"),
 ];
 
 /// Where the `MetricId` enum and the snapshot exporter live (R5 input).
@@ -101,12 +107,14 @@ pub const METRIC_FILE: &str = "crates/telemetry/src/registry.rs";
 /// therefore from every exported snapshot), or a variant never recorded in
 /// non-test code outside the registry is a `metric-accounting` finding —
 /// the same emission/liveness discipline R3 applies to trace counters.
-pub const METRIC_IDS: [(&str, &str); 5] = [
+pub const METRIC_IDS: [(&str, &str); 7] = [
     ("UplinkLatency", "uplink_latency_us"),
     ("DownlinkLatency", "downlink_latency_us"),
     ("QueueDepth", "queue_depth"),
     ("GradientStaleness", "gradient_staleness_us"),
     ("ServiceTime", "service_time_us"),
+    ("MembershipSize", "membership_size"),
+    ("ShedRate", "shed_rate"),
 ];
 
 /// Identifiers banned outright in R1 scope, with the finding message.

@@ -23,6 +23,12 @@ pub fn emit_all(sink: &mut Vec<TraceKind>) {
     sink.push(TraceKind::Rollback);
     sink.push(TraceKind::SnapshotEmit);
     sink.push(TraceKind::JournalDrop);
+    sink.push(TraceKind::ClientJoin);
+    sink.push(TraceKind::ClientLeave);
+    sink.push(TraceKind::ClientRejoin);
+    sink.push(TraceKind::IngressShed);
+    sink.push(TraceKind::BreakerTrip);
+    sink.push(TraceKind::DeadlinePartialApply);
 }
 
 pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
@@ -46,4 +52,10 @@ pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
         + r.rollbacks
         + r.snapshots_emitted
         + r.journal_dropped
+        + r.clients_joined
+        + r.clients_departed
+        + r.rejoins
+        + r.batches_shed
+        + r.breaker_trips
+        + r.deadline_partial_applies
 }

@@ -20,6 +20,12 @@ pub struct AsyncReport {
     pub quarantine_drops: u64,
     pub snapshots_emitted: u64,
     pub journal_dropped: u64,
+    pub clients_joined: u64,
+    pub clients_departed: u64,
+    pub rejoins: u64,
+    pub batches_shed: u64,
+    pub breaker_trips: u64,
+    pub deadline_partial_applies: u64,
 }
 
 pub struct CommReport {

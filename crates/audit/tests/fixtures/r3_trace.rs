@@ -23,4 +23,10 @@ pub enum TraceKind {
     Rollback,
     SnapshotEmit,
     JournalDrop,
+    ClientJoin,
+    ClientLeave,
+    ClientRejoin,
+    IngressShed,
+    BreakerTrip,
+    DeadlinePartialApply,
 }

@@ -7,4 +7,6 @@ pub fn record_all(hub: &mut TelemetryHub) {
     hub.record(MetricId::QueueDepth, 0, 1);
     hub.record(MetricId::GradientStaleness, 0, 1);
     hub.record(MetricId::ServiceTime, 0, 1);
+    hub.record(MetricId::MembershipSize, 0, 1);
+    hub.record(MetricId::ShedRate, 0, 1);
 }

@@ -7,6 +7,8 @@ pub enum MetricId {
     QueueDepth,
     GradientStaleness,
     ServiceTime,
+    MembershipSize,
+    ShedRate,
 }
 
 impl MetricId {
@@ -17,6 +19,8 @@ impl MetricId {
             MetricId::QueueDepth => "queue_depth",
             MetricId::GradientStaleness => "gradient_staleness_us",
             MetricId::ServiceTime => "service_time_us",
+            MetricId::MembershipSize => "membership_size",
+            MetricId::ShedRate => "shed_rate",
         }
     }
 }

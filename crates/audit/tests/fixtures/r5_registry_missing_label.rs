@@ -8,6 +8,8 @@ pub enum MetricId {
     QueueDepth,
     GradientStaleness,
     ServiceTime,
+    MembershipSize,
+    ShedRate,
 }
 
 impl MetricId {
@@ -18,6 +20,8 @@ impl MetricId {
             MetricId::QueueDepth => "queue_depth",
             MetricId::GradientStaleness => "gradient_staleness_us",
             MetricId::ServiceTime => "unlabeled",
+            MetricId::MembershipSize => "membership_size",
+            MetricId::ShedRate => "shed_rate",
         }
     }
 }

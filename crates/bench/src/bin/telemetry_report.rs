@@ -78,7 +78,7 @@ fn main() {
 
     // Per-end-system latency/staleness summary table.
     let mut rows = Vec::new();
-    for actor in 0..clients as u32 {
+    for actor in 0..clients as u64 {
         let cell = |metric: MetricId| match hub.registry().histogram(metric, actor) {
             Some(h) => format!("{}/{}/{}", h.p50(), h.p90(), h.p99()),
             None => "-".to_string(),

@@ -60,6 +60,26 @@ pub enum FaultKind {
         /// Per-transfer corruption probability in `(0, 1]`.
         rate: f64,
     },
+    /// The end-system joins the fleet at `from`. Before that instant it is
+    /// dormant (declared in the config but not yet participating); membership
+    /// admits it mid-training with a server-seeded warm start.
+    ClientJoin {
+        /// Joining end-system.
+        client: EndSystemId,
+    },
+    /// The end-system departs the fleet at `from` (a deliberate leave, not
+    /// a crash: its outstanding work is abandoned and it stops producing
+    /// batches until a matching [`FaultKind::ClientRejoin`], if any).
+    ClientLeave {
+        /// Departing end-system.
+        client: EndSystemId,
+    },
+    /// A departed end-system rejoins at `from`, resyncing from its last
+    /// acked batch.
+    ClientRejoin {
+        /// Rejoining end-system.
+        client: EndSystemId,
+    },
 }
 
 impl FaultKind {
@@ -70,7 +90,10 @@ impl FaultKind {
             | FaultKind::LossSurge { client, .. }
             | FaultKind::LatencySpike { client, .. }
             | FaultKind::ClientCrash { client }
-            | FaultKind::PayloadCorruption { client, .. } => Some(client),
+            | FaultKind::PayloadCorruption { client, .. }
+            | FaultKind::ClientJoin { client }
+            | FaultKind::ClientLeave { client }
+            | FaultKind::ClientRejoin { client } => Some(client),
             FaultKind::ServerStall => None,
         }
     }
@@ -209,6 +232,35 @@ impl FaultPlan {
         ))
     }
 
+    /// Adds a mid-training join for `client` at `at`. Churn transitions
+    /// are instants, modeled as minimum-width episodes so they share the
+    /// episode machinery.
+    pub fn client_join(self, client: EndSystemId, at: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::ClientJoin { client },
+            at,
+            at + SimDuration::from_micros(1),
+        ))
+    }
+
+    /// Adds a deliberate departure for `client` at `at`.
+    pub fn client_leave(self, client: EndSystemId, at: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::ClientLeave { client },
+            at,
+            at + SimDuration::from_micros(1),
+        ))
+    }
+
+    /// Adds a rejoin for a previously departed `client` at `at`.
+    pub fn client_rejoin(self, client: EndSystemId, at: SimTime) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::ClientRejoin { client },
+            at,
+            at + SimDuration::from_micros(1),
+        ))
+    }
+
     /// Adds the same payload-corruption episode to every one of `clients`
     /// links — the corruption-sweep benchmark's uniform-noise scenario.
     pub fn payload_corruption_all(
@@ -277,6 +329,81 @@ impl FaultPlan {
             plan = plan.server_stall(from, until);
         }
         plan
+    }
+
+    /// Generates a seeded churn arrival process over `[0, horizon)`.
+    ///
+    /// `members` end-systems (ids `0..members`) start active; each leaves
+    /// with probability `turnover` at a time uniform in the middle of the
+    /// horizon, and a leaver rejoins after a uniform gap when that still
+    /// lands inside the horizon. `joiners` additional end-systems (ids
+    /// `members..members + joiners`) start dormant and join in the first
+    /// half of the horizon. Same seed, same plan, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `turnover` is outside `[0, 1]` or `horizon` is zero.
+    pub fn churn(
+        members: usize,
+        joiners: usize,
+        horizon: SimDuration,
+        seed: u64,
+        turnover: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&turnover),
+            "turnover must be in [0, 1]"
+        );
+        assert!(horizon > SimDuration::ZERO, "horizon must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        let h = horizon.as_micros().max(10);
+        for i in 0..members {
+            let client = EndSystemId(i);
+            if rng.gen_bool(turnover) {
+                let leave = rng.gen_range(h / 5..4 * h / 5);
+                plan = plan.client_leave(client, SimTime::from_micros(leave));
+                let gap = rng.gen_range(h / 20..h / 5).max(2);
+                let back = leave.saturating_add(gap);
+                if back < h {
+                    plan = plan.client_rejoin(client, SimTime::from_micros(back));
+                }
+            }
+        }
+        for j in 0..joiners {
+            let client = EndSystemId(members + j);
+            let at = rng.gen_range(h / 10..h / 2);
+            plan = plan.client_join(client, SimTime::from_micros(at));
+        }
+        plan
+    }
+
+    /// All scheduled joins as `(client, at)`, ascending by `(at, client)`.
+    pub fn join_events(&self) -> Vec<(EndSystemId, SimTime)> {
+        self.churn_events(|k| matches!(k, FaultKind::ClientJoin { .. }))
+    }
+
+    /// All scheduled departures as `(client, at)`, ascending by
+    /// `(at, client)`.
+    pub fn leave_events(&self) -> Vec<(EndSystemId, SimTime)> {
+        self.churn_events(|k| matches!(k, FaultKind::ClientLeave { .. }))
+    }
+
+    /// All scheduled rejoins as `(client, at)`, ascending by
+    /// `(at, client)`.
+    pub fn rejoin_events(&self) -> Vec<(EndSystemId, SimTime)> {
+        self.churn_events(|k| matches!(k, FaultKind::ClientRejoin { .. }))
+    }
+
+    fn churn_events(&self, select: impl Fn(&FaultKind) -> bool) -> Vec<(EndSystemId, SimTime)> {
+        let mut out: Vec<(EndSystemId, SimTime)> = self
+            .episodes
+            .iter()
+            .filter(|e| select(&e.kind))
+            .filter_map(|e| e.kind.client().map(|c| (c, e.from)))
+            .collect();
+        out.sort_by_key(|&(c, at)| (at, c.0));
+        out
     }
 
     /// All episodes, in insertion order.
@@ -575,6 +702,55 @@ mod tests {
     #[should_panic(expected = "corruption rate")]
     fn zero_corruption_rate_rejected() {
         FaultPlan::new().payload_corruption(EndSystemId(0), 0.0, t(0), t(10));
+    }
+
+    #[test]
+    fn churn_plans_are_seed_deterministic_and_ordered() {
+        let a = FaultPlan::churn(5, 2, SimDuration::from_millis(10_000), 11, 0.5);
+        let b = FaultPlan::churn(5, 2, SimDuration::from_millis(10_000), 11, 0.5);
+        let c = FaultPlan::churn(5, 2, SimDuration::from_millis(10_000), 12, 0.5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.join_events().len(), 2, "every joiner gets a join event");
+        for w in a.leave_events().windows(2) {
+            assert!((w[0].1, w[0].0 .0) <= (w[1].1, w[1].0 .0));
+        }
+        // Every rejoin follows that client's leave.
+        for (client, back) in a.rejoin_events() {
+            let leave = a
+                .leave_events()
+                .into_iter()
+                .find(|&(c, _)| c == client)
+                .expect("rejoiner must have left");
+            assert!(back > leave.1);
+        }
+    }
+
+    #[test]
+    fn zero_turnover_churn_only_joins() {
+        let plan = FaultPlan::churn(4, 1, SimDuration::from_millis(1_000), 3, 0.0);
+        assert!(plan.leave_events().is_empty());
+        assert!(plan.rejoin_events().is_empty());
+        assert_eq!(plan.join_events().len(), 1);
+        assert_eq!(plan.join_events()[0].0, EndSystemId(4));
+    }
+
+    #[test]
+    fn churn_builders_are_client_scoped_instants() {
+        let plan = FaultPlan::new()
+            .client_join(EndSystemId(2), t(10))
+            .client_leave(EndSystemId(0), t(20))
+            .client_rejoin(EndSystemId(0), t(30));
+        assert_eq!(plan.join_events(), vec![(EndSystemId(2), t(10))]);
+        assert_eq!(plan.leave_events(), vec![(EndSystemId(0), t(20))]);
+        assert_eq!(plan.rejoin_events(), vec![(EndSystemId(0), t(30))]);
+        for e in plan.episodes() {
+            assert!(e.kind.client().is_some());
+        }
+        // Churn does not count as a crash or link fault.
+        assert!(!plan.client_crashed(EndSystemId(0), t(20)));
+        assert!(!plan.link_down(EndSystemId(0), t(20)));
+        assert!(plan.crash_windows().is_empty());
     }
 
     #[test]

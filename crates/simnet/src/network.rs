@@ -126,7 +126,7 @@ impl<T> SimNetwork<T> {
             None => {
                 counter.record_drop();
                 if let Some(hub) = &mut self.telemetry {
-                    hub.journal(at.as_micros(), JournalKind::NetworkDrop, id.0 as u32);
+                    hub.journal(at.as_micros(), JournalKind::NetworkDrop, id.0 as u64);
                 }
                 false
             }
@@ -138,7 +138,7 @@ impl<T> SimNetwork<T> {
                         Direction::Uplink => MetricId::UplinkLatency,
                         Direction::Downlink => MetricId::DownlinkLatency,
                     };
-                    hub.record(metric, id.0 as u32, dur.as_micros());
+                    hub.record(metric, id.0 as u64, dur.as_micros());
                 }
                 self.queue.schedule(
                     at + dur,

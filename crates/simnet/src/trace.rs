@@ -49,6 +49,20 @@ pub enum TraceKind {
     SnapshotEmit,
     /// The telemetry journal evicted its oldest event to make room.
     JournalDrop,
+    /// A new end-system joined the fleet mid-training.
+    ClientJoin,
+    /// An end-system departed the fleet.
+    ClientLeave,
+    /// A departed end-system rejoined and resynced from its last acked
+    /// batch.
+    ClientRejoin,
+    /// The bounded ingress queue shed a batch under overload.
+    IngressShed,
+    /// A per-link circuit breaker tripped open after repeated delivery
+    /// failures.
+    BreakerTrip,
+    /// A round deadline fired and the partial quorum was applied.
+    DeadlinePartialApply,
 }
 
 /// One traced event.

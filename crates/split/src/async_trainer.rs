@@ -39,12 +39,15 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointRing};
 use crate::client::EndSystem;
-use crate::config::SplitConfig;
+use crate::config::{DeadlineConfig, OverloadConfig, SplitConfig};
 use crate::guard::{tensor_rms, GuardConfig, HealthWatchdog, QuarantineStatus, QuarantineTracker};
+use crate::membership::{Membership, MembershipState, QuorumLost};
 use crate::protocol::{ActivationMsg, GradientMsg};
 use crate::report::{AsyncReport, CommReport};
-use crate::resilience::{LivenessTracker, RetryPolicy};
-use crate::scheduler::{ArrivalQueue, SchedulingPolicy};
+use crate::resilience::{
+    BreakerConfig, BreakerDecision, CircuitBreaker, LivenessTracker, RetryPolicy,
+};
+use crate::scheduler::{ArrivalQueue, SchedulingPolicy, TokenBucket};
 use crate::server::CentralServer;
 use crate::trainer::ConfigError;
 use bytes::Bytes;
@@ -113,6 +116,22 @@ enum Event {
     CheckpointTick,
     /// Periodic telemetry snapshot.
     TelemetrySnapshot,
+    /// A scheduled joiner is admitted to the fleet mid-training.
+    MemberJoin(EndSystemId),
+    /// A member departs the fleet for good (until a scheduled rejoin).
+    MemberLeave(EndSystemId),
+    /// A departed member re-admits and resyncs from its last acked batch.
+    MemberRejoin(EndSystemId),
+    /// Per-round deadline: check round progress and, with enough quorum,
+    /// abandon the stragglers' outstanding batches.
+    RoundDeadline,
+    /// A breaker-deferred activation send is re-attempted when its link
+    /// half-opens. Unlike [`Event::UplinkRetry`] nothing was lost, so it
+    /// is not counted as a retransmission.
+    UplinkProbe { msg: ActivationMsg, failures: u32 },
+    /// A breaker-deferred gradient send, downlink counterpart of
+    /// [`Event::UplinkProbe`].
+    DownlinkProbe { msg: GradientMsg, failures: u32 },
 }
 
 /// Asynchronous trainer over a simulated network.
@@ -162,6 +181,22 @@ pub struct AsyncSplitTrainer {
     // Observability.
     telemetry: Option<TelemetryHub>,
     telemetry_every: Option<SimDuration>,
+    // Dynamic membership & overload control.
+    membership: Membership,
+    overload: Option<OverloadConfig>,
+    breaker: CircuitBreaker,
+    buckets: Vec<TokenBucket>,
+    deadlines: Option<DeadlineConfig>,
+    deadline_snapshot: Vec<u64>,
+    clients_joined: u64,
+    bucket_shed: u64,
+    deadline_partial_applies: u64,
+    quorum_lost: Option<QuorumLost>,
+    /// Periodic housekeeping events (checkpoint/snapshot/deadline ticks)
+    /// currently sitting in the queue. Ticks reschedule only while the
+    /// queue holds a *non-tick* event; otherwise two coexisting tick
+    /// streams would keep each other — and the event loop — alive forever.
+    queued_ticks: usize,
 }
 
 impl AsyncSplitTrainer {
@@ -260,6 +295,17 @@ impl AsyncSplitTrainer {
             rollbacks: 0,
             telemetry: None,
             telemetry_every: None,
+            membership: Membership::new(n),
+            overload: None,
+            breaker: CircuitBreaker::new(n, BreakerConfig::default()),
+            buckets: Vec::new(),
+            deadlines: None,
+            deadline_snapshot: vec![0; n],
+            clients_joined: 0,
+            bucket_shed: 0,
+            deadline_partial_applies: 0,
+            quorum_lost: None,
+            queued_ticks: 0,
         })
     }
 
@@ -339,6 +385,61 @@ impl AsyncSplitTrainer {
         self.telemetry.as_ref()
     }
 
+    /// Enables server-side overload protection (builder style): the
+    /// ingress queue is bounded (arrivals past the cap shed the oldest
+    /// pending batch), each end-system is admission-limited by a token
+    /// bucket, and every link gets a circuit breaker that trips after
+    /// repeated delivery failures and half-opens on an exponential
+    /// backoff schedule.
+    pub fn with_overload_control(mut self, cfg: OverloadConfig) -> Self {
+        let n = self.clients.len();
+        self.queue = ArrivalQueue::new(self.policy, n).with_capacity(cfg.queue_capacity);
+        self.breaker = CircuitBreaker::new(
+            n,
+            BreakerConfig {
+                threshold: cfg.breaker_threshold,
+                base_open: SimDuration::from_millis(cfg.breaker_base_open_ms),
+                max_open: SimDuration::from_millis(cfg.breaker_max_open_ms),
+            },
+        );
+        self.buckets = (0..n)
+            .map(|_| TokenBucket::new(cfg.bucket_rate, cfg.bucket_burst))
+            .collect();
+        self.overload = Some(cfg);
+        self
+    }
+
+    /// Enables straggler mitigation (builder style): at every round
+    /// deadline, if at least `min_quorum_frac` of the current members
+    /// made progress this round, the stragglers' outstanding batches are
+    /// abandoned so the round's updates apply without waiting for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_ms` is zero or `min_quorum_frac` is outside
+    /// `(0, 1]`.
+    pub fn with_round_deadlines(mut self, cfg: DeadlineConfig) -> Self {
+        assert!(cfg.round_ms > 0, "round length must be positive");
+        assert!(
+            cfg.min_quorum_frac > 0.0 && cfg.min_quorum_frac <= 1.0,
+            "min_quorum_frac must be in (0, 1]"
+        );
+        self.deadlines = Some(cfg);
+        self
+    }
+
+    /// The membership registry: per-client lifecycle state plus the
+    /// join/depart/rejoin accounting.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Downsampled ingress-queue depth series (one sample per push/pop),
+    /// for offline analysis of overload behavior.
+    pub fn queue_depth_samples(&self) -> &[usize] {
+        self.queue.depth_samples()
+    }
+
     /// The most recent auto-checkpoint, if any was taken.
     pub fn last_checkpoint(&self) -> Option<&Checkpoint> {
         self.ring.latest()
@@ -380,6 +481,21 @@ impl AsyncSplitTrainer {
         EndSystemId(self.clients.len())
     }
 
+    /// Schedules a periodic housekeeping tick, keeping the tick census in
+    /// step with the queue.
+    fn schedule_tick(&mut self, at: SimTime, ev: Event) {
+        self.queued_ticks += 1;
+        self.events.schedule(at, ev);
+    }
+
+    /// Whether the queue holds any event that can make training progress
+    /// (i.e. anything besides the periodic ticks). Ticks reschedule only
+    /// while this holds, so a drained simulation terminates even with
+    /// several tick streams active.
+    fn has_pending_work(&self) -> bool {
+        self.events.len() > self.queued_ticks
+    }
+
     /// Journals an event into the telemetry hub (if attached). A ring
     /// eviction is itself an accountable loss: it is traced as
     /// [`TraceKind::JournalDrop`] and surfaces as
@@ -388,7 +504,7 @@ impl AsyncSplitTrainer {
         let Some(hub) = &mut self.telemetry else {
             return;
         };
-        let evicted = hub.journal(at.as_micros(), kind, id.0 as u32);
+        let evicted = hub.journal(at.as_micros(), kind, id.0 as u64);
         if evicted {
             self.trace_event(at, TraceKind::JournalDrop, id);
         }
@@ -401,7 +517,14 @@ impl AsyncSplitTrainer {
             return;
         }
         let server_id = self.server_trace_id();
+        let shed = self.queue.shed() + self.bucket_shed;
+        let overload = self.overload.is_some();
         if let Some(hub) = &mut self.telemetry {
+            if overload {
+                // Cumulative shed total sampled once per snapshot — the
+                // dashboard's shed-rate series.
+                hub.record(MetricId::ShedRate, server_id.0 as u64, shed);
+            }
             hub.emit_snapshot(t.as_micros());
         }
         self.trace_event(t, TraceKind::SnapshotEmit, server_id);
@@ -428,25 +551,116 @@ impl AsyncSplitTrainer {
         test: &ImageDataset,
         budget: Option<SimDuration>,
     ) -> AsyncReport {
-        self.client_epoch = vec![0; self.clients.len()];
-        self.liveness = LivenessTracker::new(self.clients.len(), self.liveness_timeout);
+        self.run_inner(test, budget).0
+    }
+
+    /// Like [`AsyncSplitTrainer::run`], but surfaces quorum loss as a
+    /// typed error: if every member departs while training is unfinished
+    /// (and no future join or rejoin is scheduled), the simulation stops
+    /// immediately instead of draining dead events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumLost`] when no active member remains and work is
+    /// left.
+    pub fn try_run(&mut self, test: &ImageDataset) -> Result<AsyncReport, QuorumLost> {
+        self.try_run_with_budget(test, None)
+    }
+
+    /// Budgeted counterpart of [`AsyncSplitTrainer::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumLost`] when no active member remains and work is
+    /// left.
+    pub fn try_run_with_budget(
+        &mut self,
+        test: &ImageDataset,
+        budget: Option<SimDuration>,
+    ) -> Result<AsyncReport, QuorumLost> {
+        match self.run_inner(test, budget) {
+            (_, Some(lost)) => Err(lost),
+            (report, None) => Ok(report),
+        }
+    }
+
+    fn run_inner(
+        &mut self,
+        test: &ImageDataset,
+        budget: Option<SimDuration>,
+    ) -> (AsyncReport, Option<QuorumLost>) {
+        let n = self.clients.len();
+        self.client_epoch = vec![0; n];
+        self.liveness = LivenessTracker::new(n, self.liveness_timeout);
         for c in &mut self.clients {
             c.begin_epoch(0);
+        }
+        // Pre-declared joiners (clients with a scheduled join episode)
+        // start dormant: they are part of the configured fleet but sit in
+        // `Joining` until their admission event fires.
+        let mut membership = Membership::new(n);
+        for (id, _) in self.fault_plan.join_events() {
+            if id.0 < n {
+                membership = membership.dormant(id.0);
+            }
+        }
+        self.membership = membership;
+        self.deadline_snapshot = vec![0; n];
+        self.clients_joined = 0;
+        self.bucket_shed = 0;
+        self.deadline_partial_applies = 0;
+        self.quorum_lost = None;
+        self.queued_ticks = 0;
+        if let Some(cfg) = self.overload {
+            // Fresh breaker/bucket state per run keeps repeated runs of
+            // one trainer seed-deterministic.
+            self.breaker = CircuitBreaker::new(
+                n,
+                BreakerConfig {
+                    threshold: cfg.breaker_threshold,
+                    base_open: SimDuration::from_millis(cfg.breaker_base_open_ms),
+                    max_open: SimDuration::from_millis(cfg.breaker_max_open_ms),
+                },
+            );
+            self.buckets = (0..n)
+                .map(|_| TokenBucket::new(cfg.bucket_rate, cfg.bucket_burst))
+                .collect();
         }
         // Schedule every crash window from the fault plan.
         for (id, from, until) in self.fault_plan.crash_windows() {
             self.events.schedule(from, Event::ClientCrash(id));
             self.events.schedule(until, Event::ClientRecover(id));
         }
+        // Schedule the churn arrivals: joins, leaves and rejoins.
+        for (id, at) in self.fault_plan.join_events() {
+            if id.0 < n {
+                self.events.schedule(at, Event::MemberJoin(id));
+            }
+        }
+        for (id, at) in self.fault_plan.leave_events() {
+            if id.0 < n {
+                self.events.schedule(at, Event::MemberLeave(id));
+            }
+        }
+        for (id, at) in self.fault_plan.rejoin_events() {
+            if id.0 < n {
+                self.events.schedule(at, Event::MemberRejoin(id));
+            }
+        }
+        // First round deadline one round in.
+        if let Some(d) = self.deadlines {
+            self.schedule_tick(
+                SimTime::ZERO + SimDuration::from_millis(d.round_ms),
+                Event::RoundDeadline,
+            );
+        }
         // First auto-checkpoint one interval in.
         if let Some(iv) = self.checkpoint_every {
-            self.events
-                .schedule(SimTime::ZERO + iv, Event::CheckpointTick);
+            self.schedule_tick(SimTime::ZERO + iv, Event::CheckpointTick);
         }
         // First telemetry snapshot one interval in.
         if let Some(iv) = self.telemetry_every {
-            self.events
-                .schedule(SimTime::ZERO + iv, Event::TelemetrySnapshot);
+            self.schedule_tick(SimTime::ZERO + iv, Event::TelemetrySnapshot);
         }
         // Kick off: every client computes its first batch at t = 0. The
         // batch forwards are independent per client, so they fan out
@@ -455,11 +669,16 @@ impl AsyncSplitTrainer {
         // arrival, retry, and gradient — is identical to a serial kickoff
         // for any `STSL_THREADS`.
         let crashed = self.crashed.clone();
+        // Dormant joiners keep their data-loader cursor untouched until
+        // admission; their first batch is produced at join time.
+        let dormant: Vec<bool> = (0..n)
+            .map(|i| self.membership.state(i) == Some(MembershipState::Joining))
+            .collect();
         let firsts: Vec<Option<ActivationMsg>> = stsl_parallel::par_map_mut(
             &mut self.clients,
             stsl_parallel::ChunkPolicy::min_chunk(1),
             |i, c| {
-                if crashed[i] || c.epoch_finished() {
+                if crashed[i] || dormant[i] || c.epoch_finished() {
                     None
                 } else {
                     c.next_batch()
@@ -471,18 +690,29 @@ impl AsyncSplitTrainer {
                 Some(msg) => self.send_uplink(msg, 0, SimTime::ZERO + self.compute.client_batch),
                 // Degenerate cases (pre-crashed client, empty shard) take
                 // the ordinary path so epoch bookkeeping stays in one
-                // place.
+                // place. (Dormant joiners fall through its membership
+                // gate untouched.)
                 None => self.launch_next_batch(EndSystemId(i), SimTime::ZERO),
             }
         }
         // Drain the event loop.
-        while let Some((t, event)) = self.events.pop() {
+        'sim: while let Some((t, event)) = self.events.pop() {
             if let Some(b) = budget {
                 if t.since(SimTime::ZERO) > b {
                     break;
                 }
             }
-            self.liveness.sweep(t);
+            for silent in self.liveness.sweep(t) {
+                // A member that went silent is suspected, not evicted: it
+                // still counts toward quorum and resumes on its next
+                // uplink.
+                if self.membership.state(silent.0) == Some(MembershipState::Active) {
+                    let _ = self
+                        .membership
+                        .transition(silent.0, MembershipState::Suspect);
+                    self.note_membership();
+                }
+            }
             match event {
                 Event::Arrival(msg) => {
                     let id = msg.from;
@@ -490,6 +720,11 @@ impl AsyncSplitTrainer {
                         // The sender crashed while the message was in
                         // flight; its forward cache is gone, so the batch
                         // is useless to the server.
+                        continue;
+                    }
+                    if !self.is_member(id.0) {
+                        // The sender departed while the message was in
+                        // flight; its batch is replayed if it rejoins.
                         continue;
                     }
                     if self.guard.is_some() {
@@ -509,10 +744,42 @@ impl AsyncSplitTrainer {
                             QuarantineStatus::Clear => {}
                         }
                     }
+                    if self.liveness.observe(id, t)
+                        && self.membership.state(id.0) == Some(MembershipState::Suspect)
+                    {
+                        // The suspect spoke up: back to full membership.
+                        let _ = self.membership.transition(id.0, MembershipState::Active);
+                        self.note_membership();
+                    }
+                    if self.overload.is_some() && !self.buckets[id.0].try_take(t) {
+                        // Rate limit: the sender is over its admission
+                        // budget, so the batch is refused at the ingress
+                        // edge and never counts as an arrival.
+                        self.bucket_shed += 1;
+                        self.trace_event(t, TraceKind::IngressShed, id);
+                        self.journal_event(t, JournalKind::IngressShed, id);
+                        self.batches_lost_per_client[id.0] += 1;
+                        self.events.schedule(t, Event::BatchAbandon(id));
+                        continue;
+                    }
                     self.trace_event(t, TraceKind::Arrival, id);
                     self.journal_event(t, JournalKind::Arrival, id);
-                    self.liveness.observe(id, t);
-                    self.queue.push_observed(t, msg, self.telemetry.as_mut());
+                    if self.overload.is_some() {
+                        let victims =
+                            self.queue
+                                .push_shed_observed(t, msg, self.telemetry.as_mut());
+                        for victim in victims {
+                            // Oldest-staleness-first shed: the longest-
+                            // waiting pending batch makes room.
+                            let vid = victim.from;
+                            self.trace_event(t, TraceKind::IngressShed, vid);
+                            self.journal_event(t, JournalKind::IngressShed, vid);
+                            self.batches_lost_per_client[vid.0] += 1;
+                            self.events.schedule(t, Event::BatchAbandon(vid));
+                        }
+                    } else {
+                        self.queue.push_observed(t, msg, self.telemetry.as_mut());
+                    }
                     self.try_serve(t);
                 }
                 Event::ServerFree => {
@@ -520,7 +787,7 @@ impl AsyncSplitTrainer {
                 }
                 Event::GradArrival(grad) => {
                     let id = grad.to;
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue; // delivered into the void
                     }
                     self.trace_event(t, TraceKind::GradientDelivered, id);
@@ -536,7 +803,7 @@ impl AsyncSplitTrainer {
                 }
                 Event::UplinkRetry { msg, failures } => {
                     let id = msg.from;
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue;
                     }
                     self.retransmits += 1;
@@ -546,7 +813,7 @@ impl AsyncSplitTrainer {
                 }
                 Event::DownlinkRetry { msg, failures } => {
                     let id = msg.to;
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue;
                     }
                     self.retransmits += 1;
@@ -554,9 +821,23 @@ impl AsyncSplitTrainer {
                     self.journal_event(t, JournalKind::Retransmit, id);
                     self.send_downlink(msg, failures, t);
                 }
+                Event::UplinkProbe { msg, failures } => {
+                    let id = msg.from;
+                    if self.crashed[id.0] || !self.is_member(id.0) {
+                        continue;
+                    }
+                    self.send_uplink(msg, failures, t);
+                }
+                Event::DownlinkProbe { msg, failures } => {
+                    let id = msg.to;
+                    if self.crashed[id.0] || !self.is_member(id.0) {
+                        continue;
+                    }
+                    self.send_downlink(msg, failures, t);
+                }
                 Event::CorruptUplink { msg, failures } => {
                     let id = msg.from;
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue;
                     }
                     self.corrupted_rejected += 1;
@@ -572,7 +853,7 @@ impl AsyncSplitTrainer {
                 }
                 Event::CorruptDownlink { msg, failures } => {
                     let id = msg.to;
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue;
                     }
                     self.corrupted_rejected += 1;
@@ -587,7 +868,7 @@ impl AsyncSplitTrainer {
                     }
                 }
                 Event::BatchAbandon(id) => {
-                    if self.crashed[id.0] {
+                    if self.crashed[id.0] || !self.is_member(id.0) {
                         continue;
                     }
                     self.clients[id.0].abandon_outstanding();
@@ -630,23 +911,152 @@ impl AsyncSplitTrainer {
                     self.launch_next_batch(id, t);
                 }
                 Event::CheckpointTick => {
+                    self.queued_ticks = self.queued_ticks.saturating_sub(1);
                     self.take_checkpoint(t);
                     if let Some(iv) = self.checkpoint_every {
                         // Only reschedule while the simulation still has
-                        // work; otherwise the tick would keep the event
-                        // loop alive forever.
-                        if !self.events.is_empty() {
-                            self.events.schedule(t + iv, Event::CheckpointTick);
+                        // non-tick work; otherwise coexisting tick
+                        // streams would keep the event loop alive forever.
+                        if self.has_pending_work() {
+                            self.schedule_tick(t + iv, Event::CheckpointTick);
                         }
                     }
                 }
                 Event::TelemetrySnapshot => {
+                    self.queued_ticks = self.queued_ticks.saturating_sub(1);
                     self.emit_snapshot(t);
                     if let Some(iv) = self.telemetry_every {
                         // Same liveness discipline as CheckpointTick.
-                        if !self.events.is_empty() {
-                            self.events.schedule(t + iv, Event::TelemetrySnapshot);
+                        if self.has_pending_work() {
+                            self.schedule_tick(t + iv, Event::TelemetrySnapshot);
                         }
+                    }
+                }
+                Event::MemberJoin(id) => {
+                    if self.membership.state(id.0) != Some(MembershipState::Joining)
+                        || self
+                            .membership
+                            .transition(id.0, MembershipState::Active)
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    self.clients_joined += 1;
+                    self.trace_event(t, TraceKind::ClientJoin, id);
+                    self.journal_event(t, JournalKind::ClientJoin, id);
+                    self.note_membership();
+                    self.liveness.readmit(id, t);
+                    // Server-seeded warm start: clone the most-served
+                    // active member's private layers from the newest
+                    // checkpoint, so the joiner's lowers are compatible
+                    // with the co-adapted uppers instead of dragging them
+                    // back toward initialization. Without a checkpoint the
+                    // joiner keeps its fresh seed-derived init.
+                    let donor = self.warm_start_donor(id);
+                    let state = match (donor, self.ring.latest()) {
+                        (Some(d), Some(ckpt)) => Some(ckpt.client_states[d].clone()),
+                        _ => None,
+                    };
+                    if let Some(state) = state {
+                        self.clients[id.0].model_mut().load_state_dict(&state);
+                        self.checkpoint_restores += 1;
+                        self.trace_event(t, TraceKind::CheckpointRestore, id);
+                        self.journal_event(t, JournalKind::CheckpointRestore, id);
+                    }
+                    self.launch_next_batch(id, t);
+                }
+                Event::MemberLeave(id) => {
+                    if !matches!(
+                        self.membership.state(id.0),
+                        Some(MembershipState::Active) | Some(MembershipState::Suspect)
+                    ) || self
+                        .membership
+                        .transition(id.0, MembershipState::Departed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.trace_event(t, TraceKind::ClientLeave, id);
+                    self.journal_event(t, JournalKind::ClientLeave, id);
+                    self.note_membership();
+                    self.liveness.retire(id);
+                    // The un-acked batch is rewound, not abandoned: if the
+                    // client rejoins, it resumes from its last acked batch
+                    // and replays this one.
+                    self.clients[id.0].rewind_outstanding();
+                    if let Some(lost) = self.quorum_check(t) {
+                        self.quorum_lost = Some(lost);
+                        break 'sim;
+                    }
+                }
+                Event::MemberRejoin(id) => {
+                    if self.membership.state(id.0) != Some(MembershipState::Departed)
+                        || self
+                            .membership
+                            .transition(id.0, MembershipState::Rejoining)
+                            .is_err()
+                    {
+                        continue;
+                    }
+                    // Rejoining -> Active is immediate in simulation; the
+                    // two-step keeps the lifecycle auditable.
+                    let _ = self.membership.transition(id.0, MembershipState::Active);
+                    self.trace_event(t, TraceKind::ClientRejoin, id);
+                    self.journal_event(t, JournalKind::ClientRejoin, id);
+                    self.note_membership();
+                    self.liveness.readmit(id, t);
+                    // Resync: the cursor was rewound at departure, so the
+                    // next launch replays the exact batch whose gradient
+                    // never arrived.
+                    self.launch_next_batch(id, t);
+                }
+                Event::RoundDeadline => {
+                    self.queued_ticks = self.queued_ticks.saturating_sub(1);
+                    let Some(d) = self.deadlines else { continue };
+                    if let Some(lost) = self.quorum_check(t) {
+                        self.quorum_lost = Some(lost);
+                        break 'sim;
+                    }
+                    let members: Vec<usize> = (0..self.clients.len())
+                        .filter(|&i| self.is_member(i))
+                        .collect();
+                    let served: Vec<u64> = self.queue.served_per_client().to_vec();
+                    let progressed = members
+                        .iter()
+                        .filter(|&&i| served[i] > self.deadline_snapshot[i])
+                        .count();
+                    let needed =
+                        ((members.len() as f64) * d.min_quorum_frac).ceil().max(1.0) as usize;
+                    let stragglers: Vec<EndSystemId> = members
+                        .iter()
+                        .filter(|&&i| {
+                            served[i] <= self.deadline_snapshot[i]
+                                && self.clients[i].outstanding().is_some()
+                                && !self.crashed[i]
+                        })
+                        .map(|&i| EndSystemId(i))
+                        .collect();
+                    if progressed >= needed && !stragglers.is_empty() {
+                        // Partial-quorum apply: enough of the fleet made
+                        // progress this round, so the stragglers'
+                        // outstanding batches are abandoned instead of
+                        // holding everyone back.
+                        self.deadline_partial_applies += 1;
+                        let server_id = self.server_trace_id();
+                        self.trace_event(t, TraceKind::DeadlinePartialApply, server_id);
+                        self.journal_event(t, JournalKind::DeadlinePartial, server_id);
+                        for id in stragglers {
+                            self.batches_lost_per_client[id.0] += 1;
+                            self.events.schedule(t, Event::BatchAbandon(id));
+                        }
+                    }
+                    self.deadline_snapshot.copy_from_slice(&served);
+                    // Same liveness discipline as CheckpointTick.
+                    if self.has_pending_work() {
+                        self.schedule_tick(
+                            t + SimDuration::from_millis(d.round_ms),
+                            Event::RoundDeadline,
+                        );
                     }
                 }
             }
@@ -672,7 +1082,7 @@ impl AsyncSplitTrainer {
                 .collect()
         };
         let final_accuracy = per.iter().sum::<f32>() / per.len().max(1) as f32;
-        AsyncReport {
+        let report = AsyncReport {
             policy: self.policy.to_string(),
             end_systems: self.config.end_systems,
             cut_blocks: self.config.cut.blocks(),
@@ -712,8 +1122,84 @@ impl AsyncSplitTrainer {
                 .as_ref()
                 .map(|h| h.journal_log().evicted())
                 .unwrap_or(0),
+            clients_joined: self.clients_joined,
+            clients_departed: self.membership.departed(),
+            rejoins: self.membership.rejoins(),
+            batches_shed: self.queue.shed() + self.bucket_shed,
+            breaker_trips: self.breaker.trips(),
+            deadline_partial_applies: self.deadline_partial_applies,
             comm: self.comm,
+        };
+        (report, self.quorum_lost.take())
+    }
+
+    /// Whether end-system `i` currently counts toward the fleet (state
+    /// `Active` or `Suspect`).
+    fn is_member(&self, i: usize) -> bool {
+        matches!(
+            self.membership.state(i),
+            Some(MembershipState::Active) | Some(MembershipState::Suspect)
+        )
+    }
+
+    /// Records the current fleet size as [`MetricId::MembershipSize`]
+    /// (called on every membership transition).
+    fn note_membership(&mut self) {
+        let size = self.membership.member_count() as u64;
+        let server_id = self.server_trace_id();
+        if let Some(hub) = &mut self.telemetry {
+            hub.record(MetricId::MembershipSize, server_id.0 as u64, size);
         }
+    }
+
+    /// Whether end-system `i` has produced (and been acked for) every
+    /// batch of every configured epoch.
+    fn training_complete(&self, i: usize) -> bool {
+        self.clients[i].epoch_finished() && self.client_epoch[i] + 1 >= self.config.epochs as u64
+    }
+
+    /// Detects quorum loss at `t`: no member remains, unfinished work is
+    /// left, and no scheduled join or rejoin can ever repopulate the
+    /// fleet.
+    fn quorum_check(&self, t: SimTime) -> Option<QuorumLost> {
+        if self.membership.member_count() > 0 {
+            return None;
+        }
+        let unfinished = (0..self.clients.len()).any(|i| !self.training_complete(i));
+        if !unfinished {
+            return None;
+        }
+        let repopulates = self
+            .fault_plan
+            .join_events()
+            .into_iter()
+            .chain(self.fault_plan.rejoin_events())
+            .any(|(_, at)| at > t);
+        if repopulates {
+            return None;
+        }
+        Some(QuorumLost {
+            at_us: t.as_micros(),
+            joined: self.membership.joined(),
+            departed: self.membership.departed(),
+        })
+    }
+
+    /// Picks the warm-start donor for a joiner: the most-served active
+    /// member (lowest id on ties), whose checkpointed private layers the
+    /// joiner clones.
+    fn warm_start_donor(&self, joiner: EndSystemId) -> Option<usize> {
+        let served = self.queue.served_per_client();
+        let mut donor: Option<usize> = None;
+        for i in 0..self.clients.len() {
+            if i == joiner.0 || self.membership.state(i) != Some(MembershipState::Active) {
+                continue;
+            }
+            if donor.is_none_or(|d| served[i] > served[d]) {
+                donor = Some(i);
+            }
+        }
+        donor
     }
 
     /// Snapshots the full deployment (config, server uppers, every
@@ -774,6 +1260,9 @@ impl AsyncSplitTrainer {
         if self.crashed[id.0] {
             return; // relaunched on recovery
         }
+        if !self.is_member(id.0) {
+            return; // relaunched on join/rejoin
+        }
         let client = &mut self.clients[id.0];
         if client.epoch_finished() {
             let next_epoch = self.client_epoch[id.0] + 1;
@@ -795,6 +1284,15 @@ impl AsyncSplitTrainer {
     /// retransmission — or abandons the batch once the budget is spent.
     fn send_uplink(&mut self, msg: ActivationMsg, failures: u32, at: SimTime) {
         let id = msg.from;
+        if self.overload.is_some() {
+            // A tripped breaker defers the send until its link half-opens
+            // — before any comm accounting, since nothing hits the wire.
+            if let BreakerDecision::Defer(until) = self.breaker.allow(id, at) {
+                self.events
+                    .schedule(until, Event::UplinkProbe { msg, failures });
+                return;
+            }
+        }
         let bytes = msg.encoded_len();
         self.comm.uplink_bytes += bytes as u64;
         self.comm.uplink_messages += 1;
@@ -815,8 +1313,11 @@ impl AsyncSplitTrainer {
                 } else {
                     Event::Arrival(msg)
                 };
+                if self.overload.is_some() {
+                    self.breaker.record_success(id);
+                }
                 if let Some(hub) = &mut self.telemetry {
-                    hub.record(MetricId::UplinkLatency, id.0 as u32, dur.as_micros());
+                    hub.record(MetricId::UplinkLatency, id.0 as u64, dur.as_micros());
                 }
                 self.events.schedule(at + dur, deliver);
             }
@@ -824,6 +1325,10 @@ impl AsyncSplitTrainer {
                 self.network_drops += 1;
                 self.trace_event(at, TraceKind::NetworkDrop, id);
                 self.journal_event(at, JournalKind::NetworkDrop, id);
+                if self.overload.is_some() && self.breaker.record_failure(id, at) {
+                    self.trace_event(at, TraceKind::BreakerTrip, id);
+                    self.journal_event(at, JournalKind::BreakerTrip, id);
+                }
                 let failures = failures + 1;
                 if self.retry.may_retry(failures) {
                     let delay = self.retry.backoff(failures, &mut self.retry_rng);
@@ -896,6 +1401,14 @@ impl AsyncSplitTrainer {
     /// retransmission discipline as [`AsyncSplitTrainer::send_uplink`].
     fn send_downlink(&mut self, msg: GradientMsg, failures: u32, at: SimTime) {
         let id = msg.to;
+        if self.overload.is_some() {
+            // Same deferral discipline as the uplink path.
+            if let BreakerDecision::Defer(until) = self.breaker.allow(id, at) {
+                self.events
+                    .schedule(until, Event::DownlinkProbe { msg, failures });
+                return;
+            }
+        }
         let bytes = msg.encoded_len();
         self.comm.downlink_bytes += bytes as u64;
         self.comm.downlink_messages += 1;
@@ -913,8 +1426,11 @@ impl AsyncSplitTrainer {
                 } else {
                     Event::GradArrival(msg)
                 };
+                if self.overload.is_some() {
+                    self.breaker.record_success(id);
+                }
                 if let Some(hub) = &mut self.telemetry {
-                    hub.record(MetricId::DownlinkLatency, id.0 as u32, dur.as_micros());
+                    hub.record(MetricId::DownlinkLatency, id.0 as u64, dur.as_micros());
                 }
                 self.events.schedule(at + dur, deliver);
             }
@@ -922,6 +1438,10 @@ impl AsyncSplitTrainer {
                 self.network_drops += 1;
                 self.trace_event(at, TraceKind::NetworkDrop, id);
                 self.journal_event(at, JournalKind::NetworkDrop, id);
+                if self.overload.is_some() && self.breaker.record_failure(id, at) {
+                    self.trace_event(at, TraceKind::BreakerTrip, id);
+                    self.journal_event(at, JournalKind::BreakerTrip, id);
+                }
                 let failures = failures + 1;
                 if self.retry.may_retry(failures) {
                     let delay = self.retry.backoff(failures, &mut self.retry_rng);
@@ -1463,6 +1983,176 @@ mod tests {
             stalled.sim_seconds,
             clean.sim_seconds
         );
+    }
+
+    #[test]
+    fn scheduled_churn_joins_leaves_and_rejoins() {
+        // Fleet of 3: clients 0 and 1 start active, client 2 is a
+        // pre-declared joiner admitted at 100 ms. Client 0 departs at
+        // 150 ms and rejoins at 400 ms, resuming from its last acked
+        // batch.
+        let mk = || {
+            let cfg = SplitConfig::tiny(CutPoint(1), 3)
+                .epochs(4)
+                .batch_size(8)
+                .seed(4);
+            let train = data(72);
+            let test = data(20);
+            let top = StarTopology::uniform(3, Link::wan(5.0, 100.0));
+            let plan = FaultPlan::new()
+                .client_join(EndSystemId(2), SimTime::from_millis(100))
+                .client_leave(EndSystemId(0), SimTime::from_millis(150))
+                .client_rejoin(EndSystemId(0), SimTime::from_millis(400));
+            let mut t = AsyncSplitTrainer::new(
+                cfg,
+                &train,
+                top,
+                SchedulingPolicy::Fifo,
+                ComputeModel::default(),
+            )
+            .unwrap()
+            .with_fault_plan(plan)
+            .with_auto_checkpoint(SimDuration::from_millis(50));
+            t.enable_trace();
+            let r = t.run(&test);
+            let csv = t.trace().unwrap().to_csv();
+            let conserves = t.membership().conserves();
+            (r, csv, conserves)
+        };
+        let (r, csv_a, conserves) = mk();
+        assert_eq!(r.clients_joined, 1);
+        assert_eq!(r.clients_departed, 1);
+        assert_eq!(r.rejoins, 1);
+        assert!(conserves, "joined - departed must equal members");
+        // The joiner was warm-started from a checkpointed donor.
+        assert!(r.checkpoint_restores >= 1, "{:?}", r);
+        // Everyone finished every batch: the joiner ran its full shard
+        // after admission, the rejoiner replayed its un-acked batch.
+        assert_eq!(r.served_per_client, vec![12, 12, 12]);
+        assert_eq!(r.batches_lost, 0);
+        // Churn is seed-deterministic down to the trace.
+        let (_, csv_b, _) = mk();
+        assert_eq!(csv_a, csv_b);
+    }
+
+    #[test]
+    fn overload_control_sheds_oldest_and_bounds_the_queue() {
+        // Fast clients, nearly-stalled server, tiny ingress bound: the
+        // queue sheds oldest-first and its depth never exceeds the cap.
+        let cfg = SplitConfig::tiny(CutPoint(1), 3)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(72);
+        let test = data(20);
+        let compute = ComputeModel {
+            client_batch: SimDuration::from_millis(1),
+            server_batch: SimDuration::from_millis(500),
+            retry_timeout: SimDuration::from_millis(100),
+        };
+        let top = StarTopology::uniform(3, Link::wan(1.0, 100.0));
+        let mut t = AsyncSplitTrainer::new(cfg, &train, top, SchedulingPolicy::Fifo, compute)
+            .unwrap()
+            .with_overload_control(OverloadConfig {
+                queue_capacity: 1,
+                bucket_rate: 1_000,
+                bucket_burst: 1_000,
+                ..OverloadConfig::default()
+            });
+        t.enable_trace();
+        let r = t.run(&test);
+        assert!(r.batches_shed > 0, "expected shedding: {:?}", r);
+        assert!(r.max_queue_depth <= 1, "depth {}", r.max_queue_depth);
+        assert_eq!(
+            t.trace().unwrap().count(TraceKind::IngressShed) as u64,
+            r.batches_shed
+        );
+        assert_eq!(r.batches_lost, r.batches_shed);
+        assert!(!t.queue_depth_samples().is_empty());
+    }
+
+    #[test]
+    fn round_deadlines_apply_partial_quorum_and_abandon_stragglers() {
+        // One near client, one pathologically far straggler, short round
+        // deadline: the fleet applies partial quorums instead of waiting.
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(1)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let top = StarTopology::new(vec![Link::wan(2.0, 100.0), Link::wan(2_000.0, 100.0)]);
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_round_deadlines(DeadlineConfig {
+            round_ms: 100,
+            min_quorum_frac: 0.5,
+        });
+        t.enable_trace();
+        let r = t.run(&test);
+        assert!(
+            r.deadline_partial_applies > 0,
+            "expected partial applies: {:?}",
+            r
+        );
+        assert_eq!(
+            t.trace().unwrap().count(TraceKind::DeadlinePartialApply) as u64,
+            r.deadline_partial_applies
+        );
+        // The near client is unharmed; the straggler lost work to the
+        // deadline.
+        assert_eq!(r.served_per_client[0], 3);
+        assert!(r.batches_lost_per_client[1] > 0);
+    }
+
+    #[test]
+    fn breaker_trips_on_dead_link_and_defers_sends() {
+        // Client 0's link drops everything during the surge: the breaker
+        // trips after the threshold and defers sends while open.
+        let cfg = SplitConfig::tiny(CutPoint(1), 2)
+            .epochs(2)
+            .batch_size(8)
+            .seed(4);
+        let train = data(48);
+        let test = data(20);
+        let top = StarTopology::uniform(2, Link::wan(5.0, 100.0));
+        let plan = FaultPlan::new().loss_surge(
+            EndSystemId(0),
+            0.97,
+            SimTime::from_millis(0),
+            SimTime::from_millis(300),
+        );
+        let mut t = AsyncSplitTrainer::new(
+            cfg,
+            &train,
+            top,
+            SchedulingPolicy::Fifo,
+            ComputeModel::default(),
+        )
+        .unwrap()
+        .with_fault_plan(plan)
+        .with_retry_policy(RetryPolicy {
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(30),
+            jitter_frac: 0.1,
+            max_attempts: 30,
+        })
+        .with_overload_control(OverloadConfig::default());
+        t.enable_trace();
+        let r = t.run(&test);
+        assert!(r.breaker_trips > 0, "expected breaker trips: {:?}", r);
+        assert_eq!(
+            t.trace().unwrap().count(TraceKind::BreakerTrip) as u64,
+            r.breaker_trips
+        );
+        // The healthy client is untouched by client 0's breaker.
+        assert_eq!(r.served_per_client[1], 6);
     }
 
     #[test]

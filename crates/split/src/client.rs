@@ -268,6 +268,20 @@ impl EndSystem {
         self.awaiting = None;
     }
 
+    /// Abandons the outstanding batch *and* rewinds the epoch cursor so the
+    /// un-acked batch is produced again — the rejoin resync path: a client
+    /// that departs mid-batch resumes from its last acked batch instead of
+    /// silently skipping the one in flight. No-op when nothing is
+    /// outstanding. Returns `true` when a batch was rewound.
+    pub fn rewind_outstanding(&mut self) -> bool {
+        if self.awaiting.take().is_some() {
+            self.cursor = self.cursor.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Runs the private encoder in inference mode (evaluation and the
     /// privacy experiments use this). No defense noise is added — this is
     /// the raw encoder output.
@@ -433,6 +447,23 @@ mod tests {
         c.next_batch();
         c.abandon_outstanding();
         assert!(c.next_batch().is_some());
+    }
+
+    #[test]
+    fn rewind_replays_the_unacked_batch() {
+        let mut c = make_client(1, 10);
+        c.begin_epoch(0);
+        let first = c.next_batch().unwrap();
+        assert!(c.rewind_outstanding());
+        // The same batch id (and indices) comes out again.
+        let replay = c.next_batch().unwrap();
+        assert_eq!(replay.batch_id, first.batch_id);
+        assert_eq!(replay.targets, first.targets);
+        // With nothing outstanding, rewind is a no-op.
+        c.abandon_outstanding();
+        assert!(!c.rewind_outstanding());
+        let next = c.next_batch().unwrap();
+        assert_eq!(next.batch_id.batch, first.batch_id.batch + 1);
     }
 
     #[test]

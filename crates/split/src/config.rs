@@ -89,6 +89,63 @@ impl From<PartitionKind> for Partition {
     }
 }
 
+/// Server-side overload protection: bounded ingress, per-client rate
+/// limits and per-link circuit breaking. Opt-in via
+/// [`crate::AsyncSplitTrainer::with_overload_control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadConfig {
+    /// Ingress-queue bound: arrivals past this depth shed the oldest
+    /// pending batch (oldest-staleness-first).
+    pub queue_capacity: usize,
+    /// Per-client token-bucket refill rate, tokens (admitted batches) per
+    /// simulated second.
+    pub bucket_rate: u64,
+    /// Per-client token-bucket burst size.
+    pub bucket_burst: u64,
+    /// Consecutive delivery failures on one link before its circuit
+    /// breaker trips.
+    pub breaker_threshold: u32,
+    /// First breaker open window, milliseconds (doubles per failed probe).
+    pub breaker_base_open_ms: u64,
+    /// Breaker open-window ceiling, milliseconds.
+    pub breaker_max_open_ms: u64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_capacity: 32,
+            bucket_rate: 50,
+            bucket_burst: 20,
+            breaker_threshold: 3,
+            breaker_base_open_ms: 100,
+            breaker_max_open_ms: 3_000,
+        }
+    }
+}
+
+/// Straggler mitigation: per-round deadlines with partial-quorum apply.
+/// Opt-in via [`crate::AsyncSplitTrainer::with_round_deadlines`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineConfig {
+    /// Round length in simulated milliseconds: at each multiple the
+    /// trainer checks round progress.
+    pub round_ms: u64,
+    /// Minimum fraction of active members that must have been served this
+    /// round for the partial quorum to apply and stragglers' outstanding
+    /// batches to be abandoned. In `(0, 1]`.
+    pub min_quorum_frac: f64,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        DeadlineConfig {
+            round_ms: 500,
+            min_quorum_frac: 0.5,
+        }
+    }
+}
+
 impl SplitConfig {
     /// A sensible default configuration for the paper's setting: the
     /// Fig. 3 CNN, IID shards, SGD momentum 0.9, lr 0.01, batch 32.

@@ -207,7 +207,7 @@ impl QuarantineTracker {
                 QuarantineStatus::Clear => None,
             };
             if let Some(kind) = kind {
-                hub.journal(at.as_micros(), kind, id.min(u32::MAX as usize) as u32);
+                hub.journal(at.as_micros(), kind, id as u64);
             }
         }
         status
@@ -242,11 +242,7 @@ impl QuarantineTracker {
         let quarantined = self.record_anomaly(id, at);
         if quarantined {
             if let Some(hub) = telemetry {
-                hub.journal(
-                    at.as_micros(),
-                    JournalKind::Quarantine,
-                    id.min(u32::MAX as usize) as u32,
-                );
+                hub.journal(at.as_micros(), JournalKind::Quarantine, id as u64);
             }
         }
         quarantined

@@ -48,6 +48,7 @@ mod checkpoint;
 mod client;
 mod config;
 mod guard;
+mod membership;
 mod model;
 pub mod protocol;
 mod report;
@@ -61,15 +62,18 @@ mod walltime;
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
 pub use checkpoint::{Checkpoint, CheckpointRing, RingLoad};
 pub use client::{EndSystem, ProtocolError};
-pub use config::{OptimizerKind, PartitionKind, SplitConfig};
+pub use config::{DeadlineConfig, OptimizerKind, OverloadConfig, PartitionKind, SplitConfig};
 pub use guard::{
     tensor_rms, validate_update, Anomaly, GuardConfig, HealthWatchdog, QuarantineStatus,
     QuarantineTracker,
 };
+pub use membership::{Membership, MembershipError, MembershipState, QuorumLost};
 pub use model::{CnnArch, CutPoint, PoolKind, LAYERS_PER_BLOCK};
 pub use report::{AsyncReport, CommReport, EpochStats, TrainReport};
-pub use resilience::{LivenessTracker, RetryPolicy};
-pub use scheduler::{ArrivalQueue, QueuedJob, SchedulingPolicy};
+pub use resilience::{
+    BreakerConfig, BreakerDecision, CircuitBreaker, LivenessTracker, RetryPolicy,
+};
+pub use scheduler::{ArrivalQueue, QueuedJob, SchedulingPolicy, TokenBucket};
 pub use server::{CentralServer, ServerStepOutput};
 pub use trainer::{ConfigError, SpatioTemporalTrainer};
 pub use ushaped::UShapedTrainer;

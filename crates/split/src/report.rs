@@ -168,6 +168,26 @@ pub struct AsyncReport {
     /// Telemetry journal events evicted because the ring was full.
     #[serde(default)]
     pub journal_dropped: u64,
+    /// End-systems admitted mid-training (scheduled joins).
+    #[serde(default)]
+    pub clients_joined: u64,
+    /// End-systems that departed the fleet (scheduled leaves).
+    #[serde(default)]
+    pub clients_departed: u64,
+    /// Departed end-systems re-admitted after resyncing from their last
+    /// acked batch.
+    #[serde(default)]
+    pub rejoins: u64,
+    /// Batches shed by the bounded ingress queue under overload.
+    #[serde(default)]
+    pub batches_shed: u64,
+    /// Per-link circuit-breaker trips.
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Round deadlines that applied a partial quorum and abandoned the
+    /// stragglers' outstanding batches.
+    #[serde(default)]
+    pub deadline_partial_applies: u64,
     /// Communication totals.
     pub comm: CommReport,
 }
@@ -255,6 +275,12 @@ mod tests {
             rollbacks: 0,
             snapshots_emitted: 0,
             journal_dropped: 0,
+            clients_joined: 1,
+            clients_departed: 1,
+            rejoins: 1,
+            batches_shed: 2,
+            breaker_trips: 0,
+            deadline_partial_applies: 0,
             comm: CommReport::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
@@ -264,6 +290,8 @@ mod tests {
         assert_eq!(back.served_per_client, vec![3, 4]);
         assert_eq!(back.retransmits, 1);
         assert_eq!(back.downtime_ms_per_client, vec![0.0, 12.5]);
+        assert_eq!(back.clients_joined, 1);
+        assert_eq!(back.batches_shed, 2);
     }
 
     #[test]
@@ -289,5 +317,11 @@ mod tests {
         assert_eq!(r.rollbacks, 0);
         assert_eq!(r.snapshots_emitted, 0);
         assert_eq!(r.journal_dropped, 0);
+        assert_eq!(r.clients_joined, 0);
+        assert_eq!(r.clients_departed, 0);
+        assert_eq!(r.rejoins, 0);
+        assert_eq!(r.batches_shed, 0);
+        assert_eq!(r.breaker_trips, 0);
+        assert_eq!(r.deadline_partial_applies, 0);
     }
 }

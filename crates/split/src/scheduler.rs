@@ -59,6 +59,11 @@ pub struct ArrivalQueue {
     pending: VecDeque<QueuedJob>,
     served_per_client: Vec<u64>,
     dropped: u64,
+    /// Bounded-ingress capacity; `None` means unbounded (the legacy
+    /// behavior).
+    capacity: Option<usize>,
+    /// Batches shed by the bounded-ingress policy.
+    shed: u64,
     depth_samples: Vec<usize>,
     wait_samples: Vec<SimDuration>,
 }
@@ -71,9 +76,29 @@ impl ArrivalQueue {
             pending: VecDeque::new(),
             served_per_client: vec![0; end_systems],
             dropped: 0,
+            capacity: None,
+            shed: 0,
             depth_samples: Vec::new(),
             wait_samples: Vec::new(),
         }
+    }
+
+    /// Bounds the queue at `capacity` pending batches (clamped to ≥ 1);
+    /// [`ArrivalQueue::push_shed`] sheds the oldest pending batches to
+    /// stay under the bound.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// The configured ingress bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Batches shed by the bounded-ingress policy so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
     }
 
     /// The active policy.
@@ -110,11 +135,46 @@ impl ArrivalQueue {
         msg: ActivationMsg,
         telemetry: Option<&mut TelemetryHub>,
     ) {
-        let actor = msg.from.0 as u32;
+        let actor = msg.from.0 as u64;
         self.push(arrived_at, msg);
         if let Some(hub) = telemetry {
             hub.record(MetricId::QueueDepth, actor, self.pending.len() as u64);
         }
+    }
+
+    /// Enqueues under the bounded-ingress policy: when the queue is at
+    /// capacity, the oldest pending batches (oldest-staleness-first — the
+    /// queue front, since arrivals enqueue in time order) are shed to make
+    /// room, so the post-insert depth never exceeds the bound. The shed
+    /// victims are returned so the trainer can notify their senders.
+    /// Without a configured capacity this is exactly [`ArrivalQueue::push`].
+    pub fn push_shed(&mut self, arrived_at: SimTime, msg: ActivationMsg) -> Vec<ActivationMsg> {
+        let mut victims = Vec::new();
+        if let Some(cap) = self.capacity {
+            while self.pending.len() >= cap {
+                let job = self.pending.pop_front().expect("queue is at capacity");
+                self.shed += 1;
+                victims.push(job.msg);
+            }
+        }
+        self.push(arrived_at, msg);
+        victims
+    }
+
+    /// [`ArrivalQueue::push_shed`] that also records the post-insert queue
+    /// depth as [`MetricId::QueueDepth`] for the arriving end-system.
+    pub fn push_shed_observed(
+        &mut self,
+        arrived_at: SimTime,
+        msg: ActivationMsg,
+        telemetry: Option<&mut TelemetryHub>,
+    ) -> Vec<ActivationMsg> {
+        let actor = msg.from.0 as u64;
+        let victims = self.push_shed(arrived_at, msg);
+        if let Some(hub) = telemetry {
+            hub.record(MetricId::QueueDepth, actor, self.pending.len() as u64);
+        }
+        victims
     }
 
     /// Pops the next batch to serve at time `now` according to the policy.
@@ -169,7 +229,7 @@ impl ArrivalQueue {
         if let (Some(hub), Some(job)) = (telemetry, &chosen) {
             hub.record(
                 MetricId::GradientStaleness,
-                job.msg.from.0 as u32,
+                job.msg.from.0 as u64,
                 now.since(job.arrived_at).as_micros(),
             );
         }
@@ -187,6 +247,13 @@ impl ArrivalQueue {
     /// Maximum observed queue depth.
     pub fn max_depth(&self) -> usize {
         self.depth_samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Every post-insert depth sample, in arrival order — the raw series
+    /// the churn benchmark plots to show unbounded queue growth with
+    /// shedding off.
+    pub fn depth_samples(&self) -> &[usize] {
+        &self.depth_samples
     }
 
     /// Mean queueing delay of served batches.
@@ -227,6 +294,68 @@ impl ArrivalQueue {
             .sum::<f64>()
             / n;
         var.sqrt() / mean
+    }
+}
+
+/// Micro-tokens per token: the bucket does all arithmetic in integer
+/// micro-tokens so refill is exact and deterministic (1 token/s refills
+/// exactly 1 micro-token per simulated microsecond).
+const MICRO_TOKENS: u64 = 1_000_000;
+
+/// Deterministic per-client token bucket for admission control.
+///
+/// Refill is lazy: each [`TokenBucket::try_take`] first credits
+/// `elapsed_us × rate_per_sec` micro-tokens (saturating, capped at the
+/// burst size), then spends one token if available. Pure integer state —
+/// no floats, no clocks — so admission decisions are bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenBucket {
+    tokens_micro: u64,
+    rate_per_sec: u64,
+    burst: u64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate_per_sec` tokens per simulated second
+    /// with a burst size of `burst` tokens (clamped to ≥ 1). Starts full.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        let burst = burst.max(1);
+        TokenBucket {
+            tokens_micro: burst.saturating_mul(MICRO_TOKENS),
+            rate_per_sec,
+            burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now <= self.last_refill {
+            return;
+        }
+        let elapsed = now.since(self.last_refill).as_micros();
+        let add = elapsed.saturating_mul(self.rate_per_sec);
+        self.tokens_micro = self
+            .tokens_micro
+            .saturating_add(add)
+            .min(self.burst.saturating_mul(MICRO_TOKENS));
+        self.last_refill = now;
+    }
+
+    /// Spends one token at `now` if the (just-refilled) bucket holds one.
+    pub fn try_take(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens_micro >= MICRO_TOKENS {
+            self.tokens_micro -= MICRO_TOKENS;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently held (after the last refill).
+    pub fn tokens(&self) -> u64 {
+        self.tokens_micro / MICRO_TOKENS
     }
 }
 
@@ -358,6 +487,73 @@ mod tests {
         // Passing no hub behaves exactly like the plain methods.
         let (job, _) = q.pop_observed(t(6), None);
         assert_eq!(job.unwrap().msg.from, EndSystemId(1));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_first_and_never_exceeds_capacity() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 3).with_capacity(2);
+        assert_eq!(q.capacity(), Some(2));
+        assert!(q.push_shed(t(0), msg(0, 0)).is_empty());
+        assert!(q.push_shed(t(1), msg(1, 0)).is_empty());
+        // Full: the third arrival sheds the oldest (client 0's batch).
+        let victims = q.push_shed(t(2), msg(2, 0));
+        assert_eq!(victims.len(), 1);
+        assert_eq!(victims[0].from, EndSystemId(0));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.max_depth(), 2, "depth never exceeded the bound");
+        // Survivors are served in order, unshed.
+        assert_eq!(q.pop(t(3)).0.unwrap().msg.from, EndSystemId(1));
+        assert_eq!(q.pop(t(3)).0.unwrap().msg.from, EndSystemId(2));
+    }
+
+    #[test]
+    fn unbounded_push_shed_matches_plain_push() {
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 1);
+        for b in 0..50 {
+            assert!(q.push_shed(t(b), msg(0, b as u32)).is_empty());
+        }
+        assert_eq!(q.depth(), 50);
+        assert_eq!(q.shed(), 0);
+        assert_eq!(q.depth_samples().len(), 50);
+        assert_eq!(q.depth_samples().last(), Some(&50));
+    }
+
+    #[test]
+    fn shed_observed_records_bounded_depth() {
+        let mut hub = TelemetryHub::new(8);
+        let mut q = ArrivalQueue::new(SchedulingPolicy::Fifo, 2).with_capacity(1);
+        q.push_shed_observed(t(0), msg(0, 0), Some(&mut hub));
+        let victims = q.push_shed_observed(t(1), msg(1, 0), Some(&mut hub));
+        assert_eq!(victims.len(), 1);
+        let depth = hub.registry().histogram(MetricId::QueueDepth, 1).unwrap();
+        assert_eq!(depth.max(), Some(1), "observed depth respects the bound");
+    }
+
+    #[test]
+    fn token_bucket_rates_and_bursts_are_exact() {
+        let mut b = TokenBucket::new(2, 3); // 2 tokens/s, burst 3.
+                                            // Starts full: the burst drains immediately.
+        assert!(b.try_take(t(0)));
+        assert!(b.try_take(t(0)));
+        assert!(b.try_take(t(0)));
+        assert!(!b.try_take(t(0)));
+        assert_eq!(b.tokens(), 0);
+        // 2 tokens/s -> one token every 500 ms.
+        assert!(!b.try_take(t(499)));
+        assert!(b.try_take(t(500)));
+        assert!(!b.try_take(t(500)));
+        // Idle long enough to refill past the burst: caps at 3.
+        assert!(b.try_take(t(10_000)));
+        assert!(b.try_take(t(10_000)));
+        assert!(b.try_take(t(10_000)));
+        assert!(!b.try_take(t(10_000)));
+        // Deterministic: same calls, same outcomes.
+        let run = || {
+            let mut b = TokenBucket::new(7, 2);
+            (0..40).map(|i| b.try_take(t(i * 37))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -142,7 +142,7 @@ impl CentralServer {
         }
         let out = self.process(msg);
         if let Some(hub) = telemetry {
-            hub.record(MetricId::ServiceTime, msg.from.0 as u32, service_us);
+            hub.record(MetricId::ServiceTime, msg.from.0 as u64, service_us);
         }
         Ok(out)
     }

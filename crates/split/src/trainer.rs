@@ -117,7 +117,7 @@ impl SpatioTemporalTrainer {
     }
 
     /// Journals `kind` at the current logical time (server step count).
-    fn journal(&mut self, kind: JournalKind, actor: u32) {
+    fn journal(&mut self, kind: JournalKind, actor: u64) {
         let at = self.server.steps();
         if let Some(hub) = &mut self.telemetry {
             hub.journal(at, kind, actor);
@@ -202,13 +202,13 @@ impl SpatioTemporalTrainer {
                 remaining = true;
                 self.comm.uplink_bytes += msg.encoded_len() as u64;
                 self.comm.uplink_messages += 1;
-                self.journal(JournalKind::ServiceStart, i as u32);
+                self.journal(JournalKind::ServiceStart, i as u64);
                 let out = if let Some(g) = guard {
                     match self.server.process_guarded(msg, &g) {
                         Ok(out) => out,
                         Err(_) => {
                             self.anomalies_rejected += 1;
-                            self.journal(JournalKind::AnomalyRejected, i as u32);
+                            self.journal(JournalKind::AnomalyRejected, i as u64);
                             abandoned[i] = true;
                             grads.push(None);
                             continue;
@@ -276,7 +276,7 @@ impl SpatioTemporalTrainer {
     /// progressively older ring entries.
     fn rollback(&mut self, guard: &GuardConfig) {
         self.rollbacks += 1;
-        let server_actor = self.clients.len() as u32;
+        let server_actor = self.clients.len() as u64;
         self.journal(JournalKind::Rollback, server_actor);
         if let Some(ckpt) = self.ring.pop_latest() {
             self.restore(&ckpt)
@@ -367,7 +367,7 @@ impl SpatioTemporalTrainer {
                 let ckpt = self.checkpoint();
                 self.ring.push(ckpt);
             }
-            let server_actor = self.clients.len() as u32;
+            let server_actor = self.clients.len() as u64;
             self.journal(JournalKind::SnapshotEmit, server_actor);
             let at = self.server.steps();
             if let Some(hub) = &mut self.telemetry {

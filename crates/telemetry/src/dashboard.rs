@@ -71,7 +71,7 @@ mod tests {
     fn dashboard_is_deterministic() {
         let mut reg = MetricRegistry::new();
         for i in 0..10 {
-            reg.record(MetricId::QueueDepth, i % 2, u64::from(i));
+            reg.record(MetricId::QueueDepth, i % 2, i);
         }
         let snap = reg.snapshot(1_000, 0);
         assert_eq!(render_dashboard(&snap), render_dashboard(&snap));

@@ -6,7 +6,7 @@ use crate::registry::{MetricId, MetricRegistry, Snapshot};
 /// Bundles the metric registry, the event journal and the emitted
 /// snapshot series behind one mutable handle.
 ///
-/// Boundary types are plain `u64`/`u32` so the hub can be embedded
+/// Boundary types are plain `u64` so the hub can be embedded
 /// anywhere in the stack (including `stsl-simnet`) without a dependency
 /// on simulation time types; callers pass `SimTime::as_micros()`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,12 +27,12 @@ impl TelemetryHub {
     }
 
     /// Record one metric sample.
-    pub fn record(&mut self, metric: MetricId, actor: u32, value: u64) {
+    pub fn record(&mut self, metric: MetricId, actor: u64, value: u64) {
         self.registry.record(metric, actor, value);
     }
 
     /// Journal an event; returns `true` if an older event was evicted.
-    pub fn journal(&mut self, at_us: u64, kind: JournalKind, actor: u32) -> bool {
+    pub fn journal(&mut self, at_us: u64, kind: JournalKind, actor: u64) -> bool {
         self.journal.push(at_us, kind, actor)
     }
 
@@ -123,8 +123,8 @@ mod tests {
         let run = || {
             let mut hub = TelemetryHub::new(8);
             for i in 0..20u64 {
-                hub.record(MetricId::QueueDepth, (i % 3) as u32, i);
-                hub.journal(i * 10, JournalKind::Arrival, (i % 3) as u32);
+                hub.record(MetricId::QueueDepth, i % 3, i);
+                hub.journal(i * 10, JournalKind::Arrival, i % 3);
             }
             hub.emit_snapshot(500);
             hub.export_json()

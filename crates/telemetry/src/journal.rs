@@ -46,6 +46,18 @@ pub enum JournalKind {
     ClientRecover,
     /// A telemetry snapshot was emitted.
     SnapshotEmit,
+    /// A new end-system joined the fleet mid-training.
+    ClientJoin,
+    /// An end-system departed the fleet.
+    ClientLeave,
+    /// A departed end-system rejoined and resynced.
+    ClientRejoin,
+    /// The bounded ingress queue shed a batch under overload.
+    IngressShed,
+    /// A per-link circuit breaker tripped open.
+    BreakerTrip,
+    /// A round deadline fired and the partial quorum was applied.
+    DeadlinePartial,
 }
 
 impl JournalKind {
@@ -68,6 +80,12 @@ impl JournalKind {
             JournalKind::ClientCrash => "client_crash",
             JournalKind::ClientRecover => "client_recover",
             JournalKind::SnapshotEmit => "snapshot_emit",
+            JournalKind::ClientJoin => "client_join",
+            JournalKind::ClientLeave => "client_leave",
+            JournalKind::ClientRejoin => "client_rejoin",
+            JournalKind::IngressShed => "ingress_shed",
+            JournalKind::BreakerTrip => "breaker_trip",
+            JournalKind::DeadlinePartial => "deadline_partial",
         }
     }
 }
@@ -80,8 +98,9 @@ pub struct JournalEvent {
     pub at_us: u64,
     /// Event type.
     pub kind: JournalKind,
-    /// The end-system (or server) the event is about.
-    pub actor: u32,
+    /// The end-system (or server) the event is about. `u64` so
+    /// fleet-scale ids are never truncated or aliased.
+    pub actor: u64,
 }
 
 impl JournalEvent {
@@ -117,7 +136,7 @@ impl EventJournal {
 
     /// Append an event; returns `true` if an older event was evicted to
     /// make room.
-    pub fn push(&mut self, at_us: u64, kind: JournalKind, actor: u32) -> bool {
+    pub fn push(&mut self, at_us: u64, kind: JournalKind, actor: u64) -> bool {
         let evicting = self.events.len() == self.capacity;
         if evicting {
             self.events.pop_front();

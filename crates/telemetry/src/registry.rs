@@ -27,18 +27,26 @@ pub enum MetricId {
     GradientStaleness,
     /// Server batch service time.
     ServiceTime,
+    /// Active + suspect member count, sampled at each membership
+    /// transition (a count, not microseconds).
+    MembershipSize,
+    /// Cumulative batches shed by the bounded ingress queue, sampled at
+    /// each telemetry snapshot (a count, not microseconds).
+    ShedRate,
 }
 
 impl MetricId {
     /// Every registered metric, in export order. `snapshot` iterates this
     /// array, so a variant missing here would silently vanish from every
     /// export — the audit's R5 rule exists to make that impossible.
-    pub const ALL: [MetricId; 5] = [
+    pub const ALL: [MetricId; 7] = [
         MetricId::UplinkLatency,
         MetricId::DownlinkLatency,
         MetricId::QueueDepth,
         MetricId::GradientStaleness,
         MetricId::ServiceTime,
+        MetricId::MembershipSize,
+        MetricId::ShedRate,
     ];
 
     /// Stable snake_case label used in snapshot export.
@@ -49,6 +57,8 @@ impl MetricId {
             MetricId::QueueDepth => "queue_depth",
             MetricId::GradientStaleness => "gradient_staleness_us",
             MetricId::ServiceTime => "service_time_us",
+            MetricId::MembershipSize => "membership_size",
+            MetricId::ShedRate => "shed_rate",
         }
     }
 }
@@ -57,7 +67,8 @@ impl MetricId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ActorSeries {
     /// End-system index (the server uses the index one past the clients).
-    pub actor: u32,
+    /// `u64` so fleet-scale ids are never truncated or aliased.
+    pub actor: u64,
     /// Samples recorded.
     pub count: u64,
     /// Median.
@@ -129,7 +140,7 @@ impl Snapshot {
 /// by insertion order or hashing.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricRegistry {
-    series: BTreeMap<MetricId, BTreeMap<u32, Histogram>>,
+    series: BTreeMap<MetricId, BTreeMap<u64, Histogram>>,
 }
 
 impl MetricRegistry {
@@ -139,7 +150,7 @@ impl MetricRegistry {
     }
 
     /// Record one sample for `(metric, actor)`.
-    pub fn record(&mut self, metric: MetricId, actor: u32, value: u64) {
+    pub fn record(&mut self, metric: MetricId, actor: u64, value: u64) {
         self.series
             .entry(metric)
             .or_default()
@@ -149,7 +160,7 @@ impl MetricRegistry {
     }
 
     /// The histogram for `(metric, actor)`, if anything was recorded.
-    pub fn histogram(&self, metric: MetricId, actor: u32) -> Option<&Histogram> {
+    pub fn histogram(&self, metric: MetricId, actor: u64) -> Option<&Histogram> {
         self.series.get(&metric).and_then(|m| m.get(&actor))
     }
 
