@@ -118,7 +118,7 @@ pub const METRIC_IDS: [(&str, &str); 7] = [
 ];
 
 /// Identifiers banned outright in R1 scope, with the finding message.
-pub const R1_BANNED_IDENTS: [(&str, &str); 3] = [
+pub const R1_BANNED_IDENTS: [(&str, &str); 4] = [
     (
         "HashMap",
         "HashMap iteration order is nondeterministic; use BTreeMap or an index-keyed Vec",
@@ -130,6 +130,12 @@ pub const R1_BANNED_IDENTS: [(&str, &str); 3] = [
     (
         "thread_rng",
         "thread_rng() is unseeded; derive an StdRng from the run seed (init::rng_from_seed)",
+    ),
+    (
+        "is_x86_feature_detected",
+        "runtime CPU sniffing forks numeric behavior by host; select kernels via the \
+         Backend seam (STSL_BACKEND / with_backend) and let the compiler target baseline \
+         features",
     ),
 ];
 

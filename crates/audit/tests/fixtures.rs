@@ -50,6 +50,16 @@ fn r1_determinism_fires_exactly_once() {
 }
 
 #[test]
+fn r1_cpu_sniffing_fires_exactly_once() {
+    // Kernel selection must go through the Backend seam, not host CPUID:
+    // is_x86_feature_detected! forks numerics by machine, which breaks
+    // cross-host reproducibility even when each host is self-consistent.
+    let report = audit(&[fixture("crates/tensor/src/fixture.rs", "r1_cpu_sniff.rs")]);
+    assert_fires_once(&report, RULE_DETERMINISM);
+    assert!(report.findings[0].message.contains("Backend seam"));
+}
+
+#[test]
 fn r1_allow_silences_and_is_counted() {
     let report = audit(&[fixture("crates/split/src/fixture.rs", "r1_allowed.rs")]);
     assert_silenced(&report, RULE_DETERMINISM);

@@ -1,0 +1,12 @@
+//! Fixture: one R1 (determinism) violation — runtime CPU-feature
+//! sniffing in a deterministic crate, which would fork numeric kernel
+//! selection by host instead of going through the Backend seam.
+//! Presented to the engine under a virtual in-scope path; never compiled.
+
+pub fn pick_kernel() -> &'static str {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}

@@ -1,16 +1,23 @@
-//! **E8** — serial/parallel speedup of the `stsl-parallel` thread pool.
+//! **E14** — serial/parallel speedup of the `stsl-parallel` thread pool,
+//! per numeric backend.
 //!
-//! Times the row-blocked GEMM kernels and one synchronous split-learning
-//! epoch at increasing thread counts and reports wall-clock medians plus
-//! the speedup over the exact serial path (`threads = 1`). Because every
-//! parallel kernel is bitwise-deterministic, the runs at different thread
-//! counts compute identical results — the only thing that may change is
-//! time.
+//! Times the GEMM kernels (including the large square product the CI
+//! speedup gate watches) and one synchronous split-learning epoch at
+//! increasing thread counts, on both the scalar **reference** backend and
+//! the cache-**blocked** backend, and reports wall-clock medians plus the
+//! speedup over the exact serial path (`threads = 1`, same backend).
+//! Because every parallel kernel is bitwise-deterministic *within a
+//! backend*, the runs at different thread counts compute identical
+//! results — the only thing that may change is time.
 //!
 //! Numbers are honest: `hardware_threads` records what the machine
-//! actually offers, and on a single-core host the speedups will sit near
-//! (or below) 1.0 — the scoped pool then only adds thread start/join
-//! overhead. Interpret `speedup` relative to that context.
+//! actually offers, every row carries the requested **and** granted
+//! thread counts, and the envelope collects explicit warnings whenever a
+//! sweep point asks for more threads than the host exposes — on such rows
+//! the pool still spawns the requested workers, but they time-share cores
+//! and the speedup is noise, not signal. `scripts/check_speedup.py`
+//! consumes these fields to decide whether the ≥2× four-thread gate is
+//! applicable on the current runner.
 //!
 //! ```text
 //! cargo run -p stsl-bench --release --bin parallel_speedup
@@ -23,12 +30,14 @@ use stsl_parallel::with_threads;
 use stsl_split::{CutPoint, SpatioTemporalTrainer, SplitConfig};
 use stsl_tensor::init::rng_from_seed;
 use stsl_tensor::ops::matmul::{gemm, gemm_at_b};
-use stsl_tensor::Tensor;
+use stsl_tensor::{with_backend, Backend, Tensor};
 
 #[derive(Serialize)]
 struct Timing {
     workload: String,
-    threads: usize,
+    backend: String,
+    threads_requested: usize,
+    threads_granted: usize,
     median_ms: f64,
     speedup_vs_serial: f64,
 }
@@ -38,8 +47,12 @@ struct SpeedupReport {
     hardware_threads: usize,
     repeats: usize,
     gemm_dims: Vec<usize>,
+    gemm_large_dims: Vec<usize>,
     epoch_samples: usize,
     data_source: String,
+    /// Human-readable caveats (e.g. oversubscribed sweep points). Empty
+    /// means every row's speedup is meaningful on this host.
+    warnings: Vec<String>,
     rows: Vec<Timing>,
 }
 
@@ -61,6 +74,7 @@ fn main() {
     let quick = args.get_flag("quick");
     let repeats = args.get_usize("repeats", if quick { 3 } else { 7 });
     let (m, k, n) = if quick { (96, 96, 96) } else { (256, 256, 256) };
+    let large = if quick { 160 } else { 384 };
     let train_n = if quick { 64 } else { 256 };
     let threads_sweep = [1usize, 2, 4];
 
@@ -70,51 +84,84 @@ fn main() {
     let mut rng = rng_from_seed(3);
     let a: Vec<f32> = Tensor::randn([m, k], &mut rng).as_slice().to_vec();
     let b: Vec<f32> = Tensor::randn([k, n], &mut rng).as_slice().to_vec();
+    let al: Vec<f32> = Tensor::randn([large, large], &mut rng).as_slice().to_vec();
+    let bl: Vec<f32> = Tensor::randn([large, large], &mut rng).as_slice().to_vec();
     let (train, _test, data_source) = load_data(train_n, 16, 16, 5, 0.05);
+
+    let mut warnings: Vec<String> = Vec::new();
+    for &threads in &threads_sweep {
+        if threads > hardware_threads {
+            warnings.push(format!(
+                "{threads}-thread rows are oversubscribed: host exposes only \
+                 {hardware_threads} hardware thread(s), so their speedups \
+                 measure scheduling overhead, not parallel scaling"
+            ));
+        }
+    }
 
     let mut rows: Vec<Timing> = Vec::new();
     let mut table: Vec<Vec<String>> = Vec::new();
-    for (workload, mut run) in [
-        (
-            "gemm",
-            Box::new(|| {
-                std::hint::black_box(gemm(&a, &b, m, k, n));
-            }) as Box<dyn FnMut()>,
-        ),
-        (
-            "gemm_at_b",
-            Box::new(|| {
-                std::hint::black_box(gemm_at_b(&a, &b, k, m, n));
-            }),
-        ),
-        (
-            "sync_epoch",
-            Box::new(|| {
-                let cfg = SplitConfig::tiny(CutPoint(1), 4).epochs(1).seed(9);
-                let mut t = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
-                std::hint::black_box(t.run_epoch(0));
-            }),
-        ),
-    ] {
-        let mut serial_ms = 0.0;
-        for &threads in &threads_sweep {
-            let ms = with_threads(threads, || median_ms(repeats, &mut run));
-            if threads == 1 {
-                serial_ms = ms;
+    for backend in [Backend::Reference, Backend::Blocked] {
+        for (workload, mut run) in [
+            (
+                "gemm",
+                Box::new(|| {
+                    std::hint::black_box(gemm(&a, &b, m, k, n));
+                }) as Box<dyn FnMut()>,
+            ),
+            (
+                "gemm_large",
+                Box::new(|| {
+                    std::hint::black_box(gemm(&al, &bl, large, large, large));
+                }),
+            ),
+            (
+                "gemm_at_b",
+                Box::new(|| {
+                    std::hint::black_box(gemm_at_b(&a, &b, k, m, n));
+                }),
+            ),
+            (
+                "sync_epoch",
+                Box::new(|| {
+                    let cfg = SplitConfig::tiny(CutPoint(1), 4).epochs(1).seed(9);
+                    let mut t = SpatioTemporalTrainer::new(cfg, &train).expect("valid config");
+                    std::hint::black_box(t.run_epoch(0));
+                }),
+            ),
+        ] {
+            let mut serial_ms = 0.0;
+            for &threads in &threads_sweep {
+                let (ms, granted) = with_backend(backend, || {
+                    with_threads(threads, || {
+                        (median_ms(repeats, &mut run), stsl_parallel::max_threads())
+                    })
+                });
+                if threads == 1 {
+                    serial_ms = ms;
+                }
+                let speedup = if ms > 0.0 { serial_ms / ms } else { 0.0 };
+                rows.push(Timing {
+                    workload: workload.to_string(),
+                    backend: backend.name().to_string(),
+                    threads_requested: threads,
+                    threads_granted: granted,
+                    median_ms: ms,
+                    speedup_vs_serial: speedup,
+                });
+                table.push(vec![
+                    workload.to_string(),
+                    backend.name().to_string(),
+                    format!(
+                        "{}/{}{}",
+                        granted,
+                        threads,
+                        if threads > hardware_threads { "!" } else { "" }
+                    ),
+                    format!("{:.3}", ms),
+                    format!("{:.2}x", speedup),
+                ]);
             }
-            let speedup = if ms > 0.0 { serial_ms / ms } else { 0.0 };
-            rows.push(Timing {
-                workload: workload.to_string(),
-                threads,
-                median_ms: ms,
-                speedup_vs_serial: speedup,
-            });
-            table.push(vec![
-                workload.to_string(),
-                threads.to_string(),
-                format!("{:.3}", ms),
-                format!("{:.2}x", speedup),
-            ]);
         }
     }
 
@@ -124,8 +171,14 @@ fn main() {
     );
     println!(
         "{}",
-        render_table(&["workload", "threads", "median ms", "speedup"], &table)
+        render_table(
+            &["workload", "backend", "granted/req", "median ms", "speedup"],
+            &table
+        )
     );
+    for w in &warnings {
+        println!("warning: {w}");
+    }
 
     write_results(
         "parallel",
@@ -135,8 +188,10 @@ fn main() {
             hardware_threads,
             repeats,
             gemm_dims: vec![m, k, n],
+            gemm_large_dims: vec![large, large, large],
             epoch_samples: train_n,
             data_source: data_source.to_string(),
+            warnings,
             rows,
         },
     );

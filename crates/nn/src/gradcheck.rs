@@ -191,6 +191,68 @@ mod tests {
         assert!(report.probes > 10);
     }
 
+    /// Conv + pool + dense driven end to end through the **blocked** tensor
+    /// backend: the analytic backward passes (im2col GEMMs, dense GEMMs)
+    /// and the finite-difference loss probes all run on the packed
+    /// microkernels, so a packing or microtile-edge bug shows up as a
+    /// gradient mismatch here even though every unit test above passes on
+    /// the reference path.
+    #[test]
+    fn conv_dense_stack_passes_on_blocked_backend() {
+        stsl_tensor::with_backend(stsl_tensor::Backend::Blocked, || {
+            let mut net = Sequential::new();
+            net.push(Conv2d::new(1, 2, 3, 2));
+            net.push(Relu::new());
+            net.push(MaxPool2d::new(2));
+            net.push(Flatten::new());
+            net.push(Dense::new(2 * 2 * 2, 3, 3));
+            let x = Tensor::randn([2, 1, 4, 4], &mut rng_from_seed(6));
+            let report =
+                check_param_gradients(&mut net, &x, &[0, 2], &SoftmaxCrossEntropy::new(), 5, 1e-2);
+            assert!(
+                report.passes(3e-2),
+                "blocked backend: max rel error {}",
+                report.max_rel_error
+            );
+        });
+    }
+
+    /// Dense + softmax cross-entropy on the blocked backend, probing every
+    /// coordinate (`stride = 1`) so the blocked `log_softmax` denominator
+    /// reduction is exercised by every finite-difference evaluation. Also
+    /// pins that the reference backend agrees on the same network — both
+    /// backends must pass at the same tolerance.
+    #[test]
+    fn dense_softmax_gradients_pass_on_both_backends() {
+        for backend in [
+            stsl_tensor::Backend::Reference,
+            stsl_tensor::Backend::Blocked,
+        ] {
+            stsl_tensor::with_backend(backend, || {
+                let mut net = Sequential::new();
+                net.push(Dense::new(5, 8, 11));
+                net.push(Relu::new());
+                net.push(Dense::new(8, 4, 12));
+                let x = Tensor::randn([3, 5], &mut rng_from_seed(13));
+                let report = check_param_gradients(
+                    &mut net,
+                    &x,
+                    &[0, 1, 3],
+                    &SoftmaxCrossEntropy::new(),
+                    1,
+                    1e-2,
+                );
+                assert!(
+                    report.passes(2e-2),
+                    "{:?} backend: max rel error {}",
+                    backend,
+                    report.max_rel_error
+                );
+                assert!(report.probes > 50);
+            });
+        }
+    }
+
     #[test]
     fn dropout_in_eval_does_not_break_check() {
         // The check evaluates the loss in Eval mode, where dropout is the

@@ -43,6 +43,7 @@ pub use std::thread::scope;
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static SCOPE_CONTEXT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Restores the previous thread-local override when dropped, so overrides
@@ -62,6 +63,50 @@ fn set_override(n: Option<usize>) -> OverrideGuard {
 /// Runs `f` with the thread budget pinned to 1 (used inside worker blocks).
 fn serial<R>(f: impl FnOnce() -> R) -> R {
     let _guard = set_override(Some(1));
+    f()
+}
+
+/// Restores the previous scope context when dropped.
+struct ContextGuard(u64);
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        SCOPE_CONTEXT.with(|c| c.set(self.0));
+    }
+}
+
+fn set_context(bits: u64) -> ContextGuard {
+    ContextGuard(SCOPE_CONTEXT.with(|c| c.replace(bits)))
+}
+
+/// The ambient scope-context bits for the current thread.
+///
+/// The context is an opaque `u64` that callers (e.g. `stsl-tensor`'s
+/// compute-backend override) stash per-call configuration in. Unlike a
+/// plain `thread_local!` in the caller's crate, these bits are
+/// **propagated into every worker thread** spawned by the parallel
+/// primitives in this crate, so a configuration installed with
+/// [`with_scope_context`] is seen by kernels running on pool workers —
+/// not just on the installing thread. Zero means "no context".
+pub fn scope_context() -> u64 {
+    SCOPE_CONTEXT.with(|c| c.get())
+}
+
+/// Runs `f` with the ambient scope context set to `bits` on this thread
+/// (and, transitively, on every worker any parallel call inside `f`
+/// spawns), restoring the previous context afterwards — including on
+/// panic. Overrides nest like [`with_threads`].
+pub fn with_scope_context<R>(bits: u64, f: impl FnOnce() -> R) -> R {
+    let _guard = set_context(bits);
+    f()
+}
+
+/// Worker-side prologue: adopt the spawning thread's scope context and a
+/// serial thread budget, then run the block. Every scoped worker in this
+/// crate funnels through here so the two ambient values stay in sync.
+fn worker<R>(ctx: u64, f: impl FnOnce() -> R) -> R {
+    let _ctx = set_context(ctx);
+    let _budget = set_override(Some(1));
     f()
 }
 
@@ -111,8 +156,9 @@ where
     if max_threads() < 2 {
         return (a(), b());
     }
+    let ctx = scope_context();
     std::thread::scope(|s| {
-        let hb = s.spawn(move || serial(b));
+        let hb = s.spawn(move || worker(ctx, b));
         let ra = serial(a);
         let rb = match hb.join() {
             Ok(r) => r,
@@ -129,17 +175,36 @@ where
 /// `min(threads, items / min_chunk).max(1)` balanced contiguous ranges.
 /// Small problems therefore stay on the caller's thread with zero spawn
 /// overhead.
+///
+/// `tile` (see [`ChunkPolicy::tiles`]) additionally forces every block
+/// boundary except the last onto a multiple of the tile size, so
+/// cache-blocked kernels never see a microtile split across two threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkPolicy {
     /// Minimum items per block; blocks are never smaller than this unless
     /// the whole index space is.
     pub min_chunk: usize,
+    /// Block-boundary alignment in items; 1 means unaligned row splits.
+    pub tile: usize,
 }
 
 impl ChunkPolicy {
-    /// Policy with the given minimum block size.
+    /// Policy with the given minimum block size and unaligned boundaries.
     pub const fn min_chunk(min_chunk: usize) -> Self {
-        ChunkPolicy { min_chunk }
+        ChunkPolicy { min_chunk, tile: 1 }
+    }
+
+    /// Policy whose block boundaries fall on multiples of `tile`.
+    ///
+    /// This is the partitioning the blocked tensor kernels use: the index
+    /// space is a stack of `tile`-row microtiles, and handing a thread a
+    /// range that starts or ends mid-tile would force it to recompute a
+    /// partial tile another thread also owns. Boundaries are rounded down
+    /// to tile edges (the final block absorbs the ragged tail), and a
+    /// block never covers fewer than `min_chunk.max(tile)` items unless
+    /// the whole index space does.
+    pub const fn tiles(min_chunk: usize, tile: usize) -> Self {
+        ChunkPolicy { min_chunk, tile }
     }
 
     /// The contiguous, disjoint, ascending ranges covering `0..items`.
@@ -150,16 +215,40 @@ impl ChunkPolicy {
         if items == 0 {
             return Vec::new();
         }
-        let min = self.min_chunk.max(1);
-        let blocks = (items / min).clamp(1, threads.max(1));
-        let base = items / blocks;
-        let rem = items % blocks;
+        let min = self.min_chunk.max(1).max(self.tile);
+        let mut blocks = (items / min).clamp(1, threads.max(1));
+        let tile = self.tile.max(1);
+        if tile > 1 {
+            // Never more blocks than whole tiles, or boundaries collide.
+            blocks = blocks.min(items.div_ceil(tile));
+        }
+        if blocks <= 1 {
+            // One element, not a range-to-collect: the lint misreads this.
+            #[allow(clippy::single_range_in_vec_init)]
+            return vec![0..items];
+        }
         let mut out = Vec::with_capacity(blocks);
         let mut start = 0;
-        for b in 0..blocks {
-            let len = base + usize::from(b < rem);
-            out.push(start..start + len);
-            start += len;
+        if tile == 1 {
+            let base = items / blocks;
+            let rem = items % blocks;
+            for b in 0..blocks {
+                let len = base + usize::from(b < rem);
+                out.push(start..start + len);
+                start += len;
+            }
+        } else {
+            for b in 1..=blocks {
+                let end = if b == blocks {
+                    items
+                } else {
+                    (items * b / blocks / tile * tile).clamp(start, items)
+                };
+                if end > start {
+                    out.push(start..end);
+                    start = end;
+                }
+            }
         }
         out
     }
@@ -192,6 +281,7 @@ where
         }
         return;
     }
+    let ctx = scope_context();
     std::thread::scope(|s| {
         let f = &f;
         let mut rest = data;
@@ -205,7 +295,7 @@ where
                 first = Some((r.start, chunk));
             } else {
                 let start = r.start;
-                handles.push(s.spawn(move || serial(|| f(start, chunk))));
+                handles.push(s.spawn(move || worker(ctx, || f(start, chunk))));
             }
         }
         let (start, chunk) = first.expect("at least two ranges");
@@ -252,6 +342,7 @@ pub fn par_chunks_mut2<A, B, F>(
         }
         return;
     }
+    let ctx = scope_context();
     std::thread::scope(|s| {
         let f = &f;
         let mut rest_a = a;
@@ -270,7 +361,7 @@ pub fn par_chunks_mut2<A, B, F>(
                 first = Some((r.start, chunk_a, chunk_b));
             } else {
                 let start = r.start;
-                handles.push(s.spawn(move || serial(|| f(start, chunk_a, chunk_b))));
+                handles.push(s.spawn(move || worker(ctx, || f(start, chunk_a, chunk_b))));
             }
         }
         let (start, chunk_a, chunk_b) = first.expect("at least two ranges");
@@ -294,12 +385,13 @@ where
     if ranges.len() <= 1 {
         return (0..items).map(f).collect();
     }
+    let ctx = scope_context();
     std::thread::scope(|s| {
         let f = &f;
         let mut iter = ranges.into_iter();
         let head = iter.next().expect("at least two ranges");
         let handles: Vec<_> = iter
-            .map(|r| s.spawn(move || serial(|| r.map(f).collect::<Vec<R>>())))
+            .map(|r| s.spawn(move || worker(ctx, || r.map(f).collect::<Vec<R>>())))
             .collect();
         let mut out = serial(|| head.map(f).collect::<Vec<R>>());
         for h in handles {
@@ -328,6 +420,7 @@ where
     if ranges.len() <= 1 {
         return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let ctx = scope_context();
     std::thread::scope(|s| {
         let f = &f;
         let mut rest = items;
@@ -342,7 +435,7 @@ where
             } else {
                 let start = r.start;
                 handles.push(s.spawn(move || {
-                    serial(|| {
+                    worker(ctx, || {
                         chunk
                             .iter_mut()
                             .enumerate()
@@ -397,6 +490,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tiled_ranges_align_all_interior_boundaries() {
+        for items in [1usize, 3, 4, 7, 16, 37, 64, 129, 1000] {
+            for threads in [1usize, 2, 4, 7] {
+                for tile in [2usize, 4, 8] {
+                    let ranges = ChunkPolicy::tiles(1, tile).ranges(items, threads);
+                    let mut next = 0;
+                    for (i, r) in ranges.iter().enumerate() {
+                        assert_eq!(r.start, next, "contiguous ascending");
+                        assert!(r.end > r.start, "non-empty");
+                        if i + 1 < ranges.len() {
+                            assert_eq!(r.end % tile, 0, "interior boundary on tile edge");
+                        }
+                        next = r.end;
+                    }
+                    assert_eq!(next, items, "full coverage");
+                    assert!(ranges.len() <= threads.max(1));
+                    assert!(ranges.len() <= items.div_ceil(tile));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scope_context_defaults_to_zero_and_restores() {
+        assert_eq!(scope_context(), 0);
+        with_scope_context(7, || {
+            assert_eq!(scope_context(), 7);
+            with_scope_context(9, || assert_eq!(scope_context(), 9));
+            assert_eq!(scope_context(), 7);
+        });
+        assert_eq!(scope_context(), 0);
+    }
+
+    #[test]
+    fn scope_context_propagates_to_workers() {
+        with_threads(4, || {
+            with_scope_context(42, || {
+                let seen = par_map_indexed(8, ChunkPolicy::min_chunk(1), |_| scope_context());
+                assert_eq!(seen, vec![42; 8]);
+                let mut buf = vec![0u64; 8];
+                par_chunks_mut(&mut buf, 1, ChunkPolicy::min_chunk(1), |_, c| {
+                    c.fill(scope_context());
+                });
+                assert_eq!(buf, vec![42; 8]);
+                let (a, b) = join(scope_context, scope_context);
+                assert_eq!((a, b), (42, 42));
+            });
+        });
     }
 
     #[test]

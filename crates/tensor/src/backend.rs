@@ -1,0 +1,158 @@
+//! Compute-backend selection for the hot kernels.
+//!
+//! Every hot kernel in this crate (the GEMM family, and through it the
+//! im2col convolution, plus the softmax/reduction family) exists twice:
+//!
+//! * [`Backend::Reference`] — the scalar reference path. It preserves the
+//!   exact per-element summation order the workspace has always used, so
+//!   it is the numeric **oracle**: anything the blocked backend computes
+//!   is validated against it by `tests/kernel_conformance.rs`.
+//! * [`Backend::Blocked`] — cache-blocked packed microkernels whose inner
+//!   loops are written to auto-vectorize, partitioned over microtiles for
+//!   the `stsl-parallel` pool. Where blocking reorders a floating-point
+//!   accumulation the result is *not* bitwise equal to the reference;
+//!   the conformance suite asserts the documented error bound instead
+//!   (see DESIGN.md §12 for the equivalence policy).
+//!
+//! # Selection
+//!
+//! Resolution order, per kernel call:
+//!
+//! 1. a scope override installed by [`with_backend`] — propagated into
+//!    `stsl-parallel` worker threads, so a test that pins the backend
+//!    around a whole trainer run pins it for every nested kernel too;
+//! 2. the `STSL_BACKEND` environment variable (`blocked`/`simd` or
+//!    `reference`/`scalar`; an unparsable value falls back to the exact
+//!    reference path, mirroring how `STSL_THREADS` falls back to serial);
+//! 3. the default: [`Backend::Blocked`].
+//!
+//! # Determinism
+//!
+//! Backend choice is **explicit state**, never host sniffing: there is no
+//! runtime CPU-feature detection (stsl-audit bans it in this crate), so a
+//! given `(backend, seed)` pair reproduces bit-for-bit on any machine.
+//! Within each backend, results are bitwise identical for every
+//! `STSL_THREADS` value — the same contract the workspace has always had,
+//! now enforced per backend by `tests/parallel_equivalence.rs`.
+
+/// Which kernel family services tensor ops on this thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Scalar reference kernels: today's exact summation order, the
+    /// conformance oracle.
+    Reference,
+    /// Cache-blocked packed microkernels tuned for auto-vectorization.
+    #[default]
+    Blocked,
+}
+
+/// Scope-context bit pattern for a pinned reference backend.
+const CTX_REFERENCE: u64 = 1;
+/// Scope-context bit pattern for a pinned blocked backend.
+const CTX_BLOCKED: u64 = 2;
+/// Mask of the scope-context bits owned by backend selection.
+const CTX_MASK: u64 = 0b11;
+
+impl Backend {
+    /// The backend kernels must dispatch to on this thread, resolved as
+    /// documented at the [module level](self).
+    pub fn active() -> Backend {
+        match stsl_parallel::scope_context() & CTX_MASK {
+            CTX_REFERENCE => Backend::Reference,
+            CTX_BLOCKED => Backend::Blocked,
+            _ => Self::from_env(),
+        }
+    }
+
+    /// Parses a backend name: `reference`/`scalar` or `blocked`/`simd`
+    /// (ASCII case-insensitive).
+    pub fn parse(name: &str) -> Option<Backend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "reference" | "scalar" => Some(Backend::Reference),
+            "blocked" | "simd" => Some(Backend::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name, the spelling `STSL_BACKEND` accepts and
+    /// the bench envelopes report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Blocked => "blocked",
+        }
+    }
+
+    /// Environment-level selection: `STSL_BACKEND`, else the default.
+    /// Unparsable values resolve to the exact reference path.
+    fn from_env() -> Backend {
+        match std::env::var("STSL_BACKEND") {
+            Ok(v) => Backend::parse(&v).unwrap_or(Backend::Reference),
+            Err(_) => Backend::default(),
+        }
+    }
+}
+
+/// Runs `f` with the compute backend pinned to `backend`, restoring the
+/// previous selection afterwards (including on panic).
+///
+/// The pin rides the `stsl-parallel` scope context, so it survives into
+/// every worker thread a parallel kernel inside `f` spawns — a trainer
+/// fan-out over end-systems dispatches the pinned backend on all of them.
+pub fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
+    let bits = match backend {
+        Backend::Reference => CTX_REFERENCE,
+        Backend::Blocked => CTX_BLOCKED,
+    };
+    let ctx = (stsl_parallel::scope_context() & !CTX_MASK) | bits;
+    stsl_parallel::with_scope_context(ctx, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_both_spellings() {
+        assert_eq!(Backend::parse("reference"), Some(Backend::Reference));
+        assert_eq!(Backend::parse("SCALAR"), Some(Backend::Reference));
+        assert_eq!(Backend::parse(" blocked "), Some(Backend::Blocked));
+        assert_eq!(Backend::parse("simd"), Some(Backend::Blocked));
+        assert_eq!(Backend::parse("gpu"), None);
+        assert_eq!(Backend::parse(""), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in [Backend::Reference, Backend::Blocked] {
+            assert_eq!(Backend::parse(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn with_backend_pins_and_restores() {
+        let outer = Backend::active();
+        with_backend(Backend::Reference, || {
+            assert_eq!(Backend::active(), Backend::Reference);
+            with_backend(Backend::Blocked, || {
+                assert_eq!(Backend::active(), Backend::Blocked);
+            });
+            assert_eq!(Backend::active(), Backend::Reference);
+        });
+        assert_eq!(Backend::active(), outer);
+    }
+
+    #[test]
+    fn with_backend_reaches_pool_workers() {
+        stsl_parallel::with_threads(4, || {
+            with_backend(Backend::Reference, || {
+                let seen = stsl_parallel::par_map_indexed(
+                    6,
+                    stsl_parallel::ChunkPolicy::min_chunk(1),
+                    |_| Backend::active(),
+                );
+                assert_eq!(seen, vec![Backend::Reference; 6]);
+            });
+        });
+    }
+}

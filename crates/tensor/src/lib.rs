@@ -28,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod error;
 pub mod init;
 pub mod ops;
 mod shape;
 mod tensor;
 
+pub use backend::{with_backend, Backend};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

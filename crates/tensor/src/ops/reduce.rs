@@ -1,11 +1,49 @@
 //! Reductions: sums, means, extrema, argmax, softmax.
+//!
+//! The softmax family and the full-tensor sum dispatch on
+//! [`Backend::active`]: the reference path keeps the exact left-fold
+//! summation order, the blocked path uses fixed-order lane partial sums
+//! ([`blocked::sum_lanes`]) and row-parallel softmax. Axis reductions,
+//! extrema and argmax are order-insensitive or intentionally shared, so
+//! they are backend-invariant (asserted by `tests/kernel_conformance.rs`).
 
-use crate::{Shape, Tensor};
+use crate::ops::blocked;
+use crate::{Backend, Shape, Tensor};
+use stsl_parallel::{par_chunks_mut, ChunkPolicy};
+
+/// Minimum row elements worth handing a softmax row band to a thread.
+const SOFTMAX_GRAIN: usize = 1 << 12;
+
+/// Fixed-size element blocks for the lane-parallel full-tensor sum; block
+/// boundaries depend only on the length, never the thread count, so the
+/// combined sum is bitwise thread-invariant.
+const SUM_BLOCK: usize = 4096;
+
+/// Blocked full-slice sum: fixed 4096-element blocks reduced with lane
+/// partial sums, block results combined in ascending index order.
+fn sum_blocked(xs: &[f32]) -> f32 {
+    if xs.len() <= SUM_BLOCK {
+        return blocked::sum_lanes(xs);
+    }
+    let blocks = xs.len().div_ceil(SUM_BLOCK);
+    let partials = stsl_parallel::par_map_indexed(blocks, ChunkPolicy::min_chunk(4), |bi| {
+        let start = bi * SUM_BLOCK;
+        blocked::sum_lanes(&xs[start..(start + SUM_BLOCK).min(xs.len())])
+    });
+    blocked::sum_lanes(&partials)
+}
 
 impl Tensor {
     /// Sum of all elements.
+    ///
+    /// Reference backend: exact left-fold in element order. Blocked
+    /// backend: fixed-order lane/block partial sums (ULP-bounded against
+    /// the fold, bitwise thread-invariant).
     pub fn sum(&self) -> f32 {
-        self.as_slice().iter().sum()
+        match Backend::active() {
+            Backend::Reference => self.as_slice().iter().sum(),
+            Backend::Blocked => sum_blocked(self.as_slice()),
+        }
     }
 
     /// Mean of all elements.
@@ -152,17 +190,45 @@ impl Tensor {
         let (n, c) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c];
-        for r in 0..n {
-            let row = &src[r * c..(r + 1) * c];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                out[r * c + j] = e;
-                denom += e;
+        match Backend::active() {
+            Backend::Reference => {
+                for r in 0..n {
+                    let row = &src[r * c..(r + 1) * c];
+                    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0;
+                    for (j, &v) in row.iter().enumerate() {
+                        let e = (v - m).exp();
+                        out[r * c + j] = e;
+                        denom += e;
+                    }
+                    for j in 0..c {
+                        out[r * c + j] /= denom;
+                    }
+                }
             }
-            for j in 0..c {
-                out[r * c + j] /= denom;
+            Backend::Blocked => {
+                // Row-parallel: each row is one independent unit, so any
+                // band partition yields identical bits. The max and the
+                // exponentials match the reference exactly (same scalar
+                // fold, same `exp`); only the denominator's association
+                // differs (lane partial sums), so outputs are ULP-bounded
+                // against the reference.
+                if n > 0 && c > 0 {
+                    let policy = ChunkPolicy::min_chunk((SOFTMAX_GRAIN / c).max(1));
+                    par_chunks_mut(&mut out, c, policy, |r0, band| {
+                        for (ri, orow) in band.chunks_mut(c).enumerate() {
+                            let row = &src[(r0 + ri) * c..(r0 + ri + 1) * c];
+                            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                            for (o, &v) in orow.iter_mut().zip(row) {
+                                *o = (v - m).exp();
+                            }
+                            let denom = blocked::sum_lanes(orow);
+                            for o in orow.iter_mut() {
+                                *o /= denom;
+                            }
+                        }
+                    });
+                }
             }
         }
         Tensor::from_vec(out, Shape::from([n, c]))
@@ -184,12 +250,36 @@ impl Tensor {
         let (n, c) = (self.dim(0), self.dim(1));
         let src = self.as_slice();
         let mut out = vec![0.0f32; n * c];
-        for r in 0..n {
-            let row = &src[r * c..(r + 1) * c];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let log_denom: f32 = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
-            for j in 0..c {
-                out[r * c + j] = row[j] - m - log_denom;
+        match Backend::active() {
+            Backend::Reference => {
+                for r in 0..n {
+                    let row = &src[r * c..(r + 1) * c];
+                    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                    let log_denom: f32 = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+                    for j in 0..c {
+                        out[r * c + j] = row[j] - m - log_denom;
+                    }
+                }
+            }
+            Backend::Blocked => {
+                // Same structure as the blocked softmax: rows are
+                // independent units, the denominator sum is lane-ordered.
+                if n > 0 && c > 0 {
+                    let policy = ChunkPolicy::min_chunk((SOFTMAX_GRAIN / c).max(1));
+                    par_chunks_mut(&mut out, c, policy, |r0, band| {
+                        for (ri, orow) in band.chunks_mut(c).enumerate() {
+                            let row = &src[(r0 + ri) * c..(r0 + ri + 1) * c];
+                            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                            for (o, &v) in orow.iter_mut().zip(row) {
+                                *o = (v - m).exp();
+                            }
+                            let log_denom = blocked::sum_lanes(orow).ln();
+                            for (o, &v) in orow.iter_mut().zip(row) {
+                                *o = v - m - log_denom;
+                            }
+                        }
+                    });
+                }
             }
         }
         Tensor::from_vec(out, Shape::from([n, c]))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Soft speedup-regression gate over results/parallel.json.
+
+Reads the stsl-results/v1 envelope written by the `parallel_speedup`
+bench and enforces the scaling floor for the blocked backend's large
+GEMM: with 4 requested threads it must reach at least MIN_SPEEDUP x over
+the same backend's serial run.
+
+The gate is *host-conditional*: parallel speedup is only a meaningful
+signal when the runner actually has >= 4 hardware threads. On smaller
+hosts (including 1-core containers, where oversubscribed rows measure
+scheduling overhead) the gate SKIPS and logs the reason instead of
+failing, matching the bench's own per-row oversubscription warnings.
+
+Exit codes: 0 = pass or skip-with-reason, 1 = regression or malformed
+results file.
+
+Usage: python3 scripts/check_speedup.py [results/parallel.json]
+"""
+
+import json
+import sys
+
+MIN_SPEEDUP = 2.0
+WORKLOAD = "gemm_large"
+BACKEND = "blocked"
+THREADS = 4
+MIN_HARDWARE_THREADS = 4
+
+
+def fail(msg: str) -> None:
+    print(f"speedup-gate: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/parallel.json"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            envelope = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot read {path}: {exc}")
+
+    if envelope.get("schema") != "stsl-results/v1":
+        fail(f"unexpected schema {envelope.get('schema')!r} in {path}")
+    data = envelope.get("data", {})
+    hardware = data.get("hardware_threads")
+    rows = data.get("rows", [])
+    if not isinstance(hardware, int) or not rows:
+        fail(f"{path} is missing hardware_threads or rows")
+
+    for warning in data.get("warnings", []):
+        print(f"speedup-gate: bench warning: {warning}")
+
+    if hardware < MIN_HARDWARE_THREADS:
+        print(
+            f"speedup-gate: SKIP: runner exposes {hardware} hardware "
+            f"thread(s) < {MIN_HARDWARE_THREADS}; {THREADS}-thread speedup "
+            "measures scheduling overhead on this host, not parallel "
+            "scaling, so the gate is not applicable"
+        )
+        sys.exit(0)
+
+    row = next(
+        (
+            r
+            for r in rows
+            if r.get("workload") == WORKLOAD
+            and r.get("backend") == BACKEND
+            and r.get("threads_requested") == THREADS
+        ),
+        None,
+    )
+    if row is None:
+        fail(
+            f"no row for workload={WORKLOAD} backend={BACKEND} "
+            f"threads_requested={THREADS} in {path}"
+        )
+    granted = row.get("threads_granted")
+    if granted != THREADS:
+        fail(
+            f"thread budget was capped: requested {THREADS}, granted "
+            f"{granted} — the speedup measurement is invalid"
+        )
+
+    speedup = row.get("speedup_vs_serial", 0.0)
+    print(
+        f"speedup-gate: {WORKLOAD} [{BACKEND}] at {THREADS} threads: "
+        f"{speedup:.2f}x vs serial (floor {MIN_SPEEDUP:.1f}x, "
+        f"{hardware} hardware threads)"
+    )
+    if speedup < MIN_SPEEDUP:
+        fail(
+            f"{THREADS}-thread {WORKLOAD} speedup {speedup:.2f}x is below "
+            f"the {MIN_SPEEDUP:.1f}x floor on a {hardware}-thread runner"
+        )
+    print("speedup-gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

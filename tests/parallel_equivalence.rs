@@ -8,9 +8,18 @@
 //! synchronous training epoch, and a four-end-system asynchronous epoch
 //! including the scheduler's event order.
 //!
-//! Thread counts are forced with [`parallel::with_threads`], which takes
-//! precedence over the `STSL_THREADS` environment variable, so the suite
-//! proves the same thing no matter what CI sets the variable to.
+//! Since the backend seam landed, the contract is **per backend**: the
+//! scalar reference path and the cache-blocked path produce different
+//! (ULP-bounded, see `kernel_conformance`) numbers from each other, but
+//! *within* each backend results must not depend on the thread count —
+//! blocked-kernel band and tile boundaries never change any element's
+//! accumulation order. Every test therefore runs the full
+//! {reference, blocked} × {1, 2, 4} threads matrix.
+//!
+//! Thread counts are forced with [`parallel::with_threads`] and backends
+//! with [`tensor::with_backend`]; both take precedence over the
+//! `STSL_THREADS` / `STSL_BACKEND` environment variables, so the suite
+//! proves the same thing no matter what CI sets them to.
 
 use spatio_temporal_split_learning::data::SyntheticCifar;
 use spatio_temporal_split_learning::parallel;
@@ -23,23 +32,43 @@ use spatio_temporal_split_learning::tensor::ops::conv::{
     conv2d_backward, conv2d_forward, ConvSpec,
 };
 use spatio_temporal_split_learning::tensor::ops::matmul::{gemm, gemm_a_bt, gemm_at_b};
-use spatio_temporal_split_learning::tensor::Tensor;
+use spatio_temporal_split_learning::tensor::{with_backend, Backend, Tensor};
 
-/// Runs `f` once per thread count and asserts all results are bitwise equal
-/// to the single-threaded one.
+/// Both numeric backends; every test runs the full matrix against each.
+const BACKENDS: [Backend; 2] = [Backend::Reference, Backend::Blocked];
+
+/// Runs `f` once per thread count *under the given backend* and asserts
+/// all results are bitwise equal to the single-threaded one.
+fn assert_equal_across_threads_on<R: PartialEq + std::fmt::Debug>(
+    backend: Backend,
+    label: &str,
+    mut f: impl FnMut() -> R,
+) -> R {
+    let serial = with_backend(backend, || parallel::with_threads(1, &mut f));
+    for threads in [2, 4] {
+        let parallel = with_backend(backend, || parallel::with_threads(threads, &mut f));
+        assert_eq!(
+            serial,
+            parallel,
+            "{label} [{}]: {threads}-thread result diverged from serial",
+            backend.name()
+        );
+    }
+    serial
+}
+
+/// Runs the {reference, blocked} × {1, 2, 4}-thread matrix and returns the
+/// per-backend single-threaded results (which are *allowed* to differ
+/// between backends — that difference is bounded by `kernel_conformance`).
 fn assert_equal_across_threads<R: PartialEq + std::fmt::Debug>(
     label: &str,
     mut f: impl FnMut() -> R,
 ) -> R {
-    let serial = parallel::with_threads(1, &mut f);
-    for threads in [2, 4] {
-        let parallel = parallel::with_threads(threads, &mut f);
-        assert_eq!(
-            serial, parallel,
-            "{label}: {threads}-thread result diverged from serial"
-        );
+    let mut out = None;
+    for backend in BACKENDS {
+        out = Some(assert_equal_across_threads_on(backend, label, &mut f));
     }
-    serial
+    out.expect("at least one backend")
 }
 
 #[test]
