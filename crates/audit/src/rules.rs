@@ -69,7 +69,7 @@ pub const REPORT_FILE: &str = "crates/split/src/report.rs";
 /// code is a `counter-accounting` finding — adding a trace kind forces the
 /// author to add (and emit) its counter, or extend this table in the same
 /// PR, where a reviewer sees both sides.
-pub const TRACE_COUNTERS: [(&str, &str); 26] = [
+pub const TRACE_COUNTERS: [(&str, &str); 29] = [
     ("Arrival", "uplink_messages"),
     ("ServiceStart", "served_per_client"),
     ("GradientDelivered", "downlink_messages"),
@@ -96,6 +96,9 @@ pub const TRACE_COUNTERS: [(&str, &str); 26] = [
     ("IngressShed", "batches_shed"),
     ("BreakerTrip", "breaker_trips"),
     ("DeadlinePartialApply", "deadline_partial_applies"),
+    ("AttackInjected", "attacks_injected"),
+    ("RobustApply", "robust_applies"),
+    ("RobustOutlier", "robust_outliers"),
 ];
 
 /// Where the `MetricId` enum and the snapshot exporter live (R5 input).
@@ -107,7 +110,7 @@ pub const METRIC_FILE: &str = "crates/telemetry/src/registry.rs";
 /// therefore from every exported snapshot), or a variant never recorded in
 /// non-test code outside the registry is a `metric-accounting` finding —
 /// the same emission/liveness discipline R3 applies to trace counters.
-pub const METRIC_IDS: [(&str, &str); 7] = [
+pub const METRIC_IDS: [(&str, &str); 9] = [
     ("UplinkLatency", "uplink_latency_us"),
     ("DownlinkLatency", "downlink_latency_us"),
     ("QueueDepth", "queue_depth"),
@@ -115,6 +118,8 @@ pub const METRIC_IDS: [(&str, &str); 7] = [
     ("ServiceTime", "service_time_us"),
     ("MembershipSize", "membership_size"),
     ("ShedRate", "shed_rate"),
+    ("RejectedUpdateRate", "rejected_update_rate"),
+    ("TrimFraction", "trim_fraction"),
 ];
 
 /// Identifiers banned outright in R1 scope, with the finding message.

@@ -29,6 +29,9 @@ pub fn emit_all(sink: &mut Vec<TraceKind>) {
     sink.push(TraceKind::IngressShed);
     sink.push(TraceKind::BreakerTrip);
     sink.push(TraceKind::DeadlinePartialApply);
+    sink.push(TraceKind::AttackInjected);
+    sink.push(TraceKind::RobustApply);
+    sink.push(TraceKind::RobustOutlier);
 }
 
 pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
@@ -58,4 +61,7 @@ pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
         + r.batches_shed
         + r.breaker_trips
         + r.deadline_partial_applies
+        + r.attacks_injected
+        + r.robust_applies
+        + r.robust_outliers
 }

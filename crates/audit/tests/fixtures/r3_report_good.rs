@@ -27,6 +27,9 @@ pub struct AsyncReport {
     pub batches_shed: u64,
     pub breaker_trips: u64,
     pub deadline_partial_applies: u64,
+    pub attacks_injected: u64,
+    pub robust_applies: u64,
+    pub robust_outliers: u64,
 }
 
 pub struct CommReport {

@@ -9,4 +9,6 @@ pub fn record_all(hub: &mut TelemetryHub) {
     hub.record(MetricId::ServiceTime, 0, 1);
     hub.record(MetricId::MembershipSize, 0, 1);
     hub.record(MetricId::ShedRate, 0, 1);
+    hub.record(MetricId::RejectedUpdateRate, 0, 1);
+    hub.record(MetricId::TrimFraction, 0, 1);
 }

@@ -9,6 +9,8 @@ pub enum MetricId {
     ServiceTime,
     MembershipSize,
     ShedRate,
+    RejectedUpdateRate,
+    TrimFraction,
 }
 
 impl MetricId {
@@ -21,6 +23,8 @@ impl MetricId {
             MetricId::ServiceTime => "service_time_us",
             MetricId::MembershipSize => "membership_size",
             MetricId::ShedRate => "shed_rate",
+            MetricId::RejectedUpdateRate => "rejected_update_rate",
+            MetricId::TrimFraction => "trim_fraction",
         }
     }
 }

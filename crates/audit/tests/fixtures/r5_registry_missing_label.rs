@@ -10,6 +10,8 @@ pub enum MetricId {
     ServiceTime,
     MembershipSize,
     ShedRate,
+    RejectedUpdateRate,
+    TrimFraction,
 }
 
 impl MetricId {
@@ -22,6 +24,8 @@ impl MetricId {
             MetricId::ServiceTime => "unlabeled",
             MetricId::MembershipSize => "membership_size",
             MetricId::ShedRate => "shed_rate",
+            MetricId::RejectedUpdateRate => "rejected_update_rate",
+            MetricId::TrimFraction => "trim_fraction",
         }
     }
 }

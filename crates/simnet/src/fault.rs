@@ -6,10 +6,12 @@
 //! plan at event time — the plan itself holds no mutable state, so the
 //! same plan plus the same seed reproduces the same run bit-for-bit.
 //!
-//! Five fault kinds cover the failure modes a geo-distributed split
+//! The fault kinds cover the failure modes a geo-distributed split
 //! deployment sees in practice: total link outages, loss-rate surges,
-//! latency spikes with jitter, end-system crash→recover windows, and
-//! server stalls.
+//! latency spikes with jitter, end-system crash→recover windows, server
+//! stalls, payload corruption, membership churn (join/leave/rejoin), and
+//! Byzantine adversary personas ([`AttackSpec`]) that poison update
+//! *content* while staying protocol-valid.
 
 use crate::{EndSystemId, Link, SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -80,6 +82,55 @@ pub enum FaultKind {
         /// Rejoining end-system.
         client: EndSystemId,
     },
+    /// The end-system behaves Byzantinely while the episode is active: it
+    /// follows the protocol (valid frames, finite values, plausible norms)
+    /// but perturbs the *content* of every activation batch it sends
+    /// according to [`AttackSpec`]. Unlike [`FaultKind::PayloadCorruption`]
+    /// nothing on the wire is damaged — the poison is semantic, so only
+    /// statistical defenses at the aggregation point can catch it.
+    Adversary {
+        /// Attacking end-system.
+        client: EndSystemId,
+        /// How it perturbs its updates.
+        attack: AttackSpec,
+    },
+}
+
+/// How a Byzantine end-system perturbs the activation batches it sends
+/// (see [`FaultKind::Adversary`]). All perturbations keep values finite
+/// and frames wire-valid — they are crafted to sail past CRC and
+/// plausibility checks and must be caught statistically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSpec {
+    /// Sends `-gain × activations`: the classic gradient-reversal attack
+    /// that pushes the shared model away from the descent direction.
+    SignFlip {
+        /// Magnitude multiplier (applied together with the sign flip).
+        gain: f64,
+    },
+    /// Sends `factor × activations`: a boosting attacker that inflates its
+    /// own influence on the aggregate.
+    Scale {
+        /// Magnitude multiplier, `> 1` to boost.
+        factor: f64,
+    },
+    /// Adds zero-mean Gaussian noise whose amplitude grows as
+    /// `sigma × √k` over the attacker's `k`-th poisoned batch — a slow
+    /// drift engineered to stay under per-batch plausibility thresholds.
+    GaussianDrift {
+        /// Base noise amplitude.
+        sigma: f64,
+    },
+    /// Replaces the activations with `gain ×` a pseudorandom direction
+    /// derived from `(clique, batch)` — every member of the same clique
+    /// sends the *same* malicious direction for the same batch index, so
+    /// colluders corroborate each other against distance-based defenses.
+    Collude {
+        /// Clique identifier; members sharing it coordinate.
+        clique: u64,
+        /// Magnitude multiplier of the shared direction.
+        gain: f64,
+    },
 }
 
 impl FaultKind {
@@ -93,7 +144,8 @@ impl FaultKind {
             | FaultKind::PayloadCorruption { client, .. }
             | FaultKind::ClientJoin { client }
             | FaultKind::ClientLeave { client }
-            | FaultKind::ClientRejoin { client } => Some(client),
+            | FaultKind::ClientRejoin { client }
+            | FaultKind::Adversary { client, .. } => Some(client),
             FaultKind::ServerStall => None,
         }
     }
@@ -136,6 +188,18 @@ impl FaultEpisode {
             assert!(
                 rate > 0.0 && rate <= 1.0,
                 "corruption rate must be in (0, 1]"
+            );
+        }
+        if let FaultKind::Adversary { attack, .. } = kind {
+            let magnitude = match attack {
+                AttackSpec::SignFlip { gain } => gain,
+                AttackSpec::Scale { factor } => factor,
+                AttackSpec::GaussianDrift { sigma } => sigma,
+                AttackSpec::Collude { gain, .. } => gain,
+            };
+            assert!(
+                magnitude.is_finite() && magnitude > 0.0,
+                "attack magnitude must be finite and positive"
             );
         }
         FaultEpisode { kind, from, until }
@@ -259,6 +323,42 @@ impl FaultPlan {
             at,
             at + SimDuration::from_micros(1),
         ))
+    }
+
+    /// Adds an adversarial persona on `client` over `[from, until)`: while
+    /// active, every activation batch the client produces is perturbed per
+    /// `attack` before it hits the wire. Attack-free clients (and windows)
+    /// consume no attack randomness, so an attack-free plan reproduces the
+    /// exact event stream of a plan-free run — the same discipline as
+    /// [`FaultPlan::payload_corruption`].
+    pub fn adversary(
+        self,
+        client: EndSystemId,
+        attack: AttackSpec,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        self.with(FaultEpisode::new(
+            FaultKind::Adversary { client, attack },
+            from,
+            until,
+        ))
+    }
+
+    /// Gives each of the first `attackers` end-systems the same adversarial
+    /// persona over `[from, until)` — the poison-sweep benchmark's
+    /// fixed-fraction attacker cohort.
+    pub fn adversaries(
+        mut self,
+        attackers: usize,
+        attack: AttackSpec,
+        from: SimTime,
+        until: SimTime,
+    ) -> Self {
+        for i in 0..attackers {
+            self = self.adversary(EndSystemId(i), attack, from, until);
+        }
+        self
     }
 
     /// Adds the same payload-corruption episode to every one of `clients`
@@ -464,6 +564,27 @@ impl FaultPlan {
             }
         }
         1.0 - pass
+    }
+
+    /// The adversarial persona active on `client` at `at`, if any. With
+    /// overlapping episodes the earliest-inserted one wins — personas do
+    /// not compound the way loss or corruption rates do, because two
+    /// simultaneous content perturbations have no physical analogue.
+    pub fn attack(&self, client: EndSystemId, at: SimTime) -> Option<AttackSpec> {
+        self.episodes.iter().find_map(|e| match e.kind {
+            FaultKind::Adversary { client: c, attack } if c == client && e.active_at(at) => {
+                Some(attack)
+            }
+            _ => None,
+        })
+    }
+
+    /// Whether the plan schedules any adversarial persona at all (used to
+    /// skip attack bookkeeping entirely on benign plans).
+    pub fn has_attacks(&self) -> bool {
+        self.episodes
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Adversary { .. }))
     }
 
     /// Whether `client` is crashed at `at`.
@@ -751,6 +872,91 @@ mod tests {
         assert!(!plan.client_crashed(EndSystemId(0), t(20)));
         assert!(!plan.link_down(EndSystemId(0), t(20)));
         assert!(plan.crash_windows().is_empty());
+    }
+
+    #[test]
+    fn adversary_windows_scope_to_client_and_time() {
+        let plan = FaultPlan::new()
+            .adversary(
+                EndSystemId(0),
+                AttackSpec::SignFlip { gain: 3.0 },
+                t(10),
+                t(20),
+            )
+            .adversary(
+                EndSystemId(1),
+                AttackSpec::Collude {
+                    clique: 7,
+                    gain: 2.0,
+                },
+                t(0),
+                t(100),
+            );
+        assert!(plan.has_attacks());
+        assert_eq!(plan.attack(EndSystemId(0), t(9)), None);
+        assert_eq!(
+            plan.attack(EndSystemId(0), t(10)),
+            Some(AttackSpec::SignFlip { gain: 3.0 })
+        );
+        assert_eq!(plan.attack(EndSystemId(0), t(20)), None);
+        assert!(matches!(
+            plan.attack(EndSystemId(1), t(50)),
+            Some(AttackSpec::Collude { clique: 7, .. })
+        ));
+        assert_eq!(plan.attack(EndSystemId(2), t(50)), None);
+        // Attacks are not link faults: transfers still flow.
+        assert!(!plan.link_down(EndSystemId(0), t(15)));
+        assert!(!plan.client_crashed(EndSystemId(0), t(15)));
+        // Overlap resolution: earliest-inserted persona wins.
+        let overlapped = plan.adversary(
+            EndSystemId(1),
+            AttackSpec::Scale { factor: 9.0 },
+            t(0),
+            t(100),
+        );
+        assert!(matches!(
+            overlapped.attack(EndSystemId(1), t(50)),
+            Some(AttackSpec::Collude { .. })
+        ));
+    }
+
+    #[test]
+    fn adversaries_covers_prefix_cohort() {
+        let plan = FaultPlan::new().adversaries(3, AttackSpec::Scale { factor: 4.0 }, t(0), t(10));
+        assert_eq!(plan.len(), 3);
+        for i in 0..3 {
+            assert!(plan.attack(EndSystemId(i), t(5)).is_some());
+        }
+        assert!(plan.attack(EndSystemId(3), t(5)).is_none());
+        assert!(FaultPlan::new()
+            .adversaries(0, AttackSpec::SignFlip { gain: 1.0 }, t(0), t(1))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "attack magnitude")]
+    fn non_positive_attack_magnitude_rejected() {
+        FaultPlan::new().adversary(
+            EndSystemId(0),
+            AttackSpec::GaussianDrift { sigma: 0.0 },
+            t(0),
+            t(10),
+        );
+    }
+
+    #[test]
+    fn adversary_plans_serialize_roundtrip() {
+        let plan = FaultPlan::new()
+            .adversary(
+                EndSystemId(2),
+                AttackSpec::GaussianDrift { sigma: 0.5 },
+                t(1),
+                t(9),
+            )
+            .adversaries(2, AttackSpec::SignFlip { gain: 2.0 }, t(0), t(4));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod topology;
 mod trace;
 
 pub use event::EventQueue;
-pub use fault::{corrupt_payload, FaultEpisode, FaultKind, FaultPlan};
+pub use fault::{corrupt_payload, AttackSpec, FaultEpisode, FaultKind, FaultPlan};
 pub use link::{LatencyModel, Link};
 pub use network::{Delivery, Direction, SimNetwork};
 pub use stats::{LatencyStats, TrafficCounter};

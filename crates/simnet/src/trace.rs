@@ -63,6 +63,12 @@ pub enum TraceKind {
     BreakerTrip,
     /// A round deadline fired and the partial quorum was applied.
     DeadlinePartialApply,
+    /// An adversarial persona poisoned an outgoing update.
+    AttackInjected,
+    /// The robust aggregator combined a full window of updates.
+    RobustApply,
+    /// The robust aggregator flagged a sender as a statistical outlier.
+    RobustOutlier,
 }
 
 /// One traced event.

@@ -37,6 +37,7 @@
 //!   health watchdog rolls the deployment back through the checkpoint
 //!   ring when training diverges anyway.
 
+use crate::aggregate::AggregationPolicy;
 use crate::checkpoint::{Checkpoint, CheckpointRing};
 use crate::client::EndSystem;
 use crate::config::{DeadlineConfig, OverloadConfig, SplitConfig};
@@ -54,11 +55,12 @@ use bytes::Bytes;
 use rand::Rng;
 use stsl_data::{ImageDataset, Partition};
 use stsl_simnet::{
-    corrupt_payload, EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime, StarTopology,
-    TraceKind, TraceLog,
+    corrupt_payload, AttackSpec, EndSystemId, EventQueue, FaultPlan, SimDuration, SimTime,
+    StarTopology, TraceKind, TraceLog,
 };
 use stsl_telemetry::{JournalKind, MetricId, TelemetryHub};
 use stsl_tensor::init::{derive_seed, rng_from_seed};
+use stsl_tensor::Tensor;
 
 /// Timing knobs of the simulated deployment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -192,6 +194,17 @@ pub struct AsyncSplitTrainer {
     bucket_shed: u64,
     deadline_partial_applies: u64,
     quorum_lost: Option<QuorumLost>,
+    // Byzantine resilience.
+    attack_rngs: Vec<rand::rngs::StdRng>,
+    attack_steps: Vec<u64>,
+    attacks_injected: u64,
+    robust_applies: u64,
+    robust_outliers: u64,
+    updates_trimmed: u64,
+    /// The window size [`AsyncSplitTrainer::with_robust_aggregation`]
+    /// configured; the live window shrinks below it while senders sit in
+    /// quarantine (0 = robust aggregation off).
+    robust_window_base: usize,
     /// Periodic housekeeping events (checkpoint/snapshot/deadline ticks)
     /// currently sitting in the queue. Ticks reschedule only while the
     /// queue holds a *non-tick* event; otherwise two coexisting tick
@@ -305,6 +318,13 @@ impl AsyncSplitTrainer {
             bucket_shed: 0,
             deadline_partial_applies: 0,
             quorum_lost: None,
+            attack_rngs: Vec::new(),
+            attack_steps: vec![0; n],
+            attacks_injected: 0,
+            robust_applies: 0,
+            robust_outliers: 0,
+            updates_trimmed: 0,
+            robust_window_base: 0,
             queued_ticks: 0,
         })
     }
@@ -357,6 +377,47 @@ impl AsyncSplitTrainer {
         self.ring = CheckpointRing::new(guard.ring_capacity);
         self.guard = Some(guard);
         self
+    }
+
+    /// Enables windowed Byzantine-robust aggregation on the server
+    /// (builder style): per-batch gradients are buffered and combined
+    /// under `policy` every `window` batches before they reach the
+    /// optimizer. With the integrity guard also enabled, the stack turns
+    /// attack-aware: window members flagged as statistical outliers are
+    /// excluded from the combine (two-pass refine) and accrue anomaly
+    /// score toward quarantine ([`GuardConfig::outlier_factor`] sets the
+    /// flagging threshold; apply
+    /// [`AsyncSplitTrainer::with_integrity_guard`] *before* this builder
+    /// so both are picked up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_robust_aggregation(mut self, policy: AggregationPolicy, window: usize) -> Self {
+        let factor = self
+            .guard
+            .map(|g| g.outlier_factor)
+            .unwrap_or(GuardConfig::default().outlier_factor);
+        self.server
+            .enable_robust_aggregation(policy, window, factor, self.guard.is_some());
+        self.robust_window_base = window;
+        self
+    }
+
+    /// Re-derives the live aggregation window from the configured base
+    /// minus the senders currently in quarantine, so exiling an attacker
+    /// does not leave the window waiting on updates that can never
+    /// arrive (which would slow the optimizer cadence for the honest
+    /// cohort). Called on every quarantine entry and release.
+    fn resize_robust_window(&mut self, t: SimTime) {
+        if self.robust_window_base == 0 {
+            return;
+        }
+        let quarantined = (0..self.clients.len())
+            .filter(|&i| self.quarantine.in_quarantine(i, t))
+            .count();
+        let window = self.robust_window_base.saturating_sub(quarantined).max(1);
+        self.server.set_robust_window(window);
     }
 
     /// Enables telemetry (builder style): uplink/downlink latency, queue
@@ -519,11 +580,19 @@ impl AsyncSplitTrainer {
         let server_id = self.server_trace_id();
         let shed = self.queue.shed() + self.bucket_shed;
         let overload = self.overload.is_some();
+        let robust = self.server.robust_enabled();
+        let rejected = self.robust_outliers + self.anomalies_rejected + self.quarantine.drops();
         if let Some(hub) = &mut self.telemetry {
             if overload {
                 // Cumulative shed total sampled once per snapshot — the
                 // dashboard's shed-rate series.
                 hub.record(MetricId::ShedRate, server_id.0 as u64, shed);
+            }
+            if robust {
+                // Cumulative defense-layer refusals (ingress anomalies,
+                // quarantine drops, robust outliers), sampled once per
+                // snapshot — the dashboard's rejected-update series.
+                hub.record(MetricId::RejectedUpdateRate, server_id.0 as u64, rejected);
             }
             hub.emit_snapshot(t.as_micros());
         }
@@ -611,6 +680,18 @@ impl AsyncSplitTrainer {
         self.deadline_partial_applies = 0;
         self.quorum_lost = None;
         self.queued_ticks = 0;
+        // Adversary streams are derived per client and consulted only
+        // while an attack window is active, so attack-free plans keep
+        // their exact event streams (the same discipline as corruption).
+        self.attack_rngs = (0..n)
+            .map(|i| rng_from_seed(derive_seed(self.config.seed, 7000 + i as u64)))
+            .collect();
+        self.attack_steps = vec![0; n];
+        self.attacks_injected = 0;
+        self.robust_applies = 0;
+        self.robust_outliers = 0;
+        self.updates_trimmed = 0;
+        self.server.clear_robust_buffer();
         if let Some(cfg) = self.overload {
             // Fresh breaker/bucket state per run keeps repeated runs of
             // one trainer seed-deterministic.
@@ -687,7 +768,10 @@ impl AsyncSplitTrainer {
         );
         for (i, first) in firsts.into_iter().enumerate() {
             match first {
-                Some(msg) => self.send_uplink(msg, 0, SimTime::ZERO + self.compute.client_batch),
+                Some(mut msg) => {
+                    self.apply_attack(&mut msg, SimTime::ZERO);
+                    self.send_uplink(msg, 0, SimTime::ZERO + self.compute.client_batch)
+                }
                 // Degenerate cases (pre-crashed client, empty shard) take
                 // the ordinary path so epoch bookkeeping stays in one
                 // place. (Dormant joiners fall through its membership
@@ -740,6 +824,7 @@ impl AsyncSplitTrainer {
                             }
                             QuarantineStatus::Released => {
                                 self.trace_event(t, TraceKind::QuarantineRelease, id);
+                                self.resize_robust_window(t);
                             }
                             QuarantineStatus::Clear => {}
                         }
@@ -1082,12 +1167,30 @@ impl AsyncSplitTrainer {
                 .collect()
         };
         let final_accuracy = per.iter().sum::<f32>() / per.len().max(1) as f32;
+        // The defense headline: accuracy over the fleet the server still
+        // serves. An exiled attacker's own encoder trained against
+        // poisoned activations — it is attacker-owned damage no
+        // server-side policy can undo, so it belongs in `final_accuracy`
+        // (whole-fleet average) but not here. With nothing exiled the
+        // two are identical.
+        let active: Vec<f32> = per
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.quarantine.in_quarantine(*i, end))
+            .map(|(_, &a)| a)
+            .collect();
+        let active_accuracy = if active.is_empty() {
+            final_accuracy
+        } else {
+            active.iter().sum::<f32>() / active.len() as f32
+        };
         let report = AsyncReport {
             policy: self.policy.to_string(),
             end_systems: self.config.end_systems,
             cut_blocks: self.config.cut.blocks(),
             sim_seconds,
             final_accuracy,
+            active_accuracy,
             served_per_client: self.queue.served_per_client().to_vec(),
             service_imbalance: self.queue.service_imbalance(),
             mean_queue_depth: self.queue.mean_depth(),
@@ -1128,6 +1231,10 @@ impl AsyncSplitTrainer {
             batches_shed: self.queue.shed() + self.bucket_shed,
             breaker_trips: self.breaker.trips(),
             deadline_partial_applies: self.deadline_partial_applies,
+            attacks_injected: self.attacks_injected,
+            robust_applies: self.robust_applies,
+            robust_outliers: self.robust_outliers,
+            updates_trimmed: self.updates_trimmed,
             comm: self.comm,
         };
         (report, self.quorum_lost.take())
@@ -1249,6 +1356,9 @@ impl AsyncSplitTrainer {
             }
         }
         self.server.scale_learning_rate(guard.lr_cooldown);
+        // A half-filled aggregation window straddling the rollback point
+        // mixes pre- and post-restore gradients; drop it.
+        self.server.clear_robust_buffer();
         self.watchdog.reset();
     }
 
@@ -1273,10 +1383,61 @@ impl AsyncSplitTrainer {
             self.client_epoch[id.0] = next_epoch;
             client.begin_epoch(next_epoch);
         }
-        let Some(msg) = client.next_batch() else {
+        let Some(mut msg) = client.next_batch() else {
             return;
         };
+        self.apply_attack(&mut msg, t);
         self.send_uplink(msg, 0, t + self.compute.client_batch);
+    }
+
+    /// Applies the sender's active adversarial persona (if any) to a
+    /// freshly produced batch, at batch-production time. The poisoned
+    /// payload carries through retransmission untouched — the attacker
+    /// *is* the sender, so every copy it puts on the wire lies
+    /// identically. Unlike payload corruption, the poison is semantic:
+    /// the frame stays CRC-valid, finite and RMS-plausible, so only
+    /// statistical defenses at the aggregation point can catch it.
+    fn apply_attack(&mut self, msg: &mut ActivationMsg, t: SimTime) {
+        let id = msg.from;
+        let Some(attack) = self.fault_plan.attack(id, t) else {
+            return;
+        };
+        self.attacks_injected += 1;
+        self.trace_event(t, TraceKind::AttackInjected, id);
+        self.journal_event(t, JournalKind::AttackInjected, id);
+        match attack {
+            AttackSpec::SignFlip { gain } => {
+                let g = -(gain as f32);
+                msg.activations.map_inplace(|x| g * x);
+            }
+            AttackSpec::Scale { factor } => {
+                let f = factor as f32;
+                msg.activations.map_inplace(|x| f * x);
+            }
+            AttackSpec::GaussianDrift { sigma } => {
+                // Noise grows with the attacker's step count: early
+                // batches look almost honest, later ones drift ever
+                // further — the slow-poison profile norm bounds miss.
+                self.attack_steps[id.0] += 1;
+                let scale = (sigma * (self.attack_steps[id.0] as f64).sqrt()) as f32;
+                let noise =
+                    Tensor::randn(msg.activations.dims().to_vec(), &mut self.attack_rngs[id.0]);
+                msg.activations.axpy(scale, &noise);
+            }
+            AttackSpec::Collude { clique, gain } => {
+                // Every clique member sends the same pseudorandom
+                // direction for the same batch id: colluders reinforce
+                // one another instead of averaging out, the attack
+                // Krum-style selectors are most vulnerable to.
+                let batch_key = ((msg.batch_id.epoch as u64) << 32) | msg.batch_id.batch as u64;
+                let seed = derive_seed(derive_seed(self.config.seed, 7700 + clique), batch_key);
+                let g = gain as f32;
+                let mut dir =
+                    Tensor::randn(msg.activations.dims().to_vec(), &mut rng_from_seed(seed));
+                dir.map_inplace(|x| g * x);
+                msg.activations = dir;
+            }
+        }
     }
 
     /// Attempts one uplink transmission of `msg` at `at` (`failures` prior
@@ -1358,8 +1519,8 @@ impl AsyncSplitTrainer {
                 Err(_) => Event::CorruptUplink { msg, failures },
             }
         } else {
-            match ActivationMsg::decode_unchecked(wire) {
-                Ok(m)
+            match ActivationMsg::decode_lenient(wire) {
+                Ok((m, _crc_ok))
                     if m.from == msg.from
                         && m.batch_id == msg.batch_id
                         && m.activations.dims() == msg.activations.dims()
@@ -1384,8 +1545,8 @@ impl AsyncSplitTrainer {
                 Err(_) => Event::CorruptDownlink { msg, failures },
             }
         } else {
-            match GradientMsg::decode_unchecked(wire) {
-                Ok(m)
+            match GradientMsg::decode_lenient(wire) {
+                Ok((m, _crc_ok))
                     if m.to == msg.to
                         && m.batch_id == msg.batch_id
                         && m.grad.dims() == msg.grad.dims() =>
@@ -1513,6 +1674,7 @@ impl AsyncSplitTrainer {
                     .record_anomaly_observed(id.0, t, self.telemetry.as_mut())
                 {
                     self.trace_event(t, TraceKind::Quarantine, id);
+                    self.resize_robust_window(t);
                 }
                 self.events.schedule(t, Event::BatchAbandon(id));
                 self.try_serve(t);
@@ -1523,7 +1685,15 @@ impl AsyncSplitTrainer {
         self.server_busy_until = done;
         self.events.schedule(done, Event::ServerFree);
         if let Some(g) = self.guard {
-            self.quarantine.record_clean(id.0);
+            // With robust aggregation on, the quarantine clean-credit is
+            // deferred to the window verdict below: a sender is "clean"
+            // when its update survives statistical scrutiny, not when it
+            // merely parses. Crediting here would let a persistent
+            // attacker decay its own anomaly score once per round and
+            // plateau below the quarantine threshold forever.
+            if !self.server.robust_enabled() {
+                self.quarantine.record_clean(id.0);
+            }
             if self
                 .watchdog
                 .observe(out.loss, tensor_rms(&out.gradient.grad))
@@ -1535,6 +1705,44 @@ impl AsyncSplitTrainer {
                 self.batches_lost_per_client[id.0] += 1;
                 self.events.schedule(done, Event::BatchAbandon(id));
                 return;
+            }
+        }
+        if let Some(apply) = self.server.take_robust_apply() {
+            self.robust_applies += 1;
+            self.updates_trimmed += apply.trimmed as u64;
+            let server_id = self.server_trace_id();
+            self.trace_event(t, TraceKind::RobustApply, server_id);
+            self.journal_event(t, JournalKind::RobustApply, server_id);
+            if let Some(hub) = &mut self.telemetry {
+                hub.record(
+                    MetricId::TrimFraction,
+                    server_id.0 as u64,
+                    apply.trim_fraction_permille,
+                );
+            }
+            if self.guard.is_some() {
+                // The deferred clean-credit: window members the policy
+                // did not flag decay their anomaly score here.
+                for sender in &apply.cleared {
+                    self.quarantine.record_clean(*sender);
+                }
+            }
+            for sender in apply.outliers {
+                self.robust_outliers += 1;
+                let sid = EndSystemId(sender);
+                self.trace_event(t, TraceKind::RobustOutlier, sid);
+                self.journal_event(t, JournalKind::RobustOutlier, sid);
+                // Statistical outliers accrue quarantine anomaly score
+                // exactly like NaN/RMS ingress rejections: the guard
+                // becomes attack-aware, not just corruption-aware.
+                if self.guard.is_some()
+                    && self
+                        .quarantine
+                        .record_anomaly_observed(sender, t, self.telemetry.as_mut())
+                {
+                    self.trace_event(t, TraceKind::Quarantine, sid);
+                    self.resize_robust_window(t);
+                }
             }
         }
         self.send_downlink(out.gradient, 0, done);

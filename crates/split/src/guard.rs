@@ -42,6 +42,13 @@ pub struct GuardConfig {
     pub lr_cooldown: f32,
     /// Capacity of the good-checkpoint ring the watchdog rolls back to.
     pub ring_capacity: usize,
+    /// Robust-aggregation outlier threshold: a window member whose L2
+    /// distance from the combined gradient exceeds this multiple of the
+    /// window's median distance accrues anomaly score like any other
+    /// guard violation. This is what makes the guard *attack*-aware —
+    /// adversarially crafted updates are finite and RMS-plausible, so
+    /// only their statistical deviation betrays them.
+    pub outlier_factor: f32,
 }
 
 impl Default for GuardConfig {
@@ -56,6 +63,7 @@ impl Default for GuardConfig {
             probation: SimDuration::from_millis(500),
             lr_cooldown: 0.5,
             ring_capacity: 4,
+            outlier_factor: 3.0,
         }
     }
 }

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod aggregate;
 mod async_trainer;
 pub mod baselines;
 mod checkpoint;
@@ -59,6 +60,9 @@ mod trainer;
 mod ushaped;
 mod walltime;
 
+pub use aggregate::{
+    combine, outlier_flags, AggregationOutcome, AggregationPolicy, RobustAggregator, RobustApply,
+};
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
 pub use checkpoint::{Checkpoint, CheckpointRing, RingLoad};
 pub use client::{EndSystem, ProtocolError};

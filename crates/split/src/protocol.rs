@@ -24,10 +24,12 @@
 //!
 //! [`ActivationMsg::decode`]/[`GradientMsg::decode`] verify the full frame
 //! including the checksum and never panic on hostile input; they return a
-//! typed [`DecodeError`] instead. [`ActivationMsg::decode_unchecked`] skips
-//! only the CRC comparison (the "guard off" path used to measure what silent
-//! corruption does to training) but still rejects structurally unusable
-//! frames.
+//! typed [`DecodeError`] instead. [`ActivationMsg::decode_lenient`] parses
+//! CRC-mismatched-but-parseable frames too and *reports* the checksum
+//! verdict instead of enforcing it — the "guard off" path used to measure
+//! what silent corruption does to training. The older
+//! [`ActivationMsg::decode_unchecked`] (which discarded the verdict
+//! entirely) is deprecated; see its docs.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use stsl_simnet::EndSystemId;
@@ -271,8 +273,9 @@ fn get_tensor(buf: &mut Bytes) -> Result<Tensor, DecodeError> {
 }
 
 /// Validates the 14-byte frame header and returns the payload as a fresh
-/// read cursor. `verify_crc` distinguishes `decode` from `decode_unchecked`.
-fn open_frame(mut bytes: Bytes, kind: u8, verify_crc: bool) -> Result<Bytes, DecodeError> {
+/// read cursor plus the CRC verdict. `verify_crc` distinguishes `decode`
+/// (mismatch is an error) from `decode_lenient` (mismatch is reported).
+fn open_frame(mut bytes: Bytes, kind: u8, verify_crc: bool) -> Result<(Bytes, bool), DecodeError> {
     need(&bytes, WIRE_HEADER_BYTES)?;
     let magic_vec = bytes.copy_bytes(4);
     let Ok(magic) = <[u8; 4]>::try_from(magic_vec.as_slice()) else {
@@ -306,16 +309,15 @@ fn open_frame(mut bytes: Bytes, kind: u8, verify_crc: bool) -> Result<Bytes, Dec
             actual: payload.len(),
         });
     }
-    if verify_crc {
-        let computed = crc32(payload);
-        if computed != crc_header {
-            return Err(DecodeError::ChecksumMismatch {
-                declared: crc_header,
-                computed,
-            });
-        }
+    let computed = crc32(payload);
+    let crc_ok = computed == crc_header;
+    if verify_crc && !crc_ok {
+        return Err(DecodeError::ChecksumMismatch {
+            declared: crc_header,
+            computed,
+        });
     }
-    Ok(Bytes::copy_from_slice(payload))
+    Ok((Bytes::copy_from_slice(payload), crc_ok))
 }
 
 /// Writes the frame header for a payload of the given bytes.
@@ -361,18 +363,36 @@ impl ActivationMsg {
     /// Never panics: truncated, garbled or mis-typed input returns a
     /// [`DecodeError`].
     pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
-        let payload = open_frame(bytes, KIND_ACTIVATION, true)?;
+        let (payload, _) = open_frame(bytes, KIND_ACTIVATION, true)?;
         Self::parse_payload(payload)
     }
 
-    /// Deserializes *without* verifying the checksum — the "guard off" path.
+    /// Deserializes without *enforcing* the checksum — the "guard off"
+    /// path — but still computes and reports it: the second element is
+    /// `true` iff the CRC32 matched.
     ///
-    /// Structural validation still applies (magic, version, kind, declared
-    /// length, tensor shape), so this never panics either; it simply lets
-    /// bit-flipped-but-parseable payloads through as silently corrupt data.
+    /// Structural validation always applies (magic, version, kind, declared
+    /// length, tensor shape), so this never panics; it lets
+    /// bit-flipped-but-parseable payloads through as silently corrupt data
+    /// while telling the caller the frame was dirty.
+    pub fn decode_lenient(bytes: Bytes) -> Result<(Self, bool), DecodeError> {
+        let (payload, crc_ok) = open_frame(bytes, KIND_ACTIVATION, false)?;
+        Ok((Self::parse_payload(payload)?, crc_ok))
+    }
+
+    /// Deserializes *without* verifying the checksum.
+    ///
+    /// **Deprecated**: this API discards the checksum verdict entirely, so
+    /// callers cannot even count how much corruption they let through. Use
+    /// [`ActivationMsg::decode`] when integrity matters, or
+    /// [`ActivationMsg::decode_lenient`] for the measured guard-off path.
+    /// No non-test call sites remain in the workspace.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use decode (enforced CRC) or decode_lenient (reported CRC) instead"
+    )]
     pub fn decode_unchecked(bytes: Bytes) -> Result<Self, DecodeError> {
-        let payload = open_frame(bytes, KIND_ACTIVATION, false)?;
-        Self::parse_payload(payload)
+        Self::decode_lenient(bytes).map(|(msg, _)| msg)
     }
 
     fn parse_payload(mut buf: Bytes) -> Result<Self, DecodeError> {
@@ -421,15 +441,26 @@ impl GradientMsg {
     /// Never panics: truncated, garbled or mis-typed input returns a
     /// [`DecodeError`].
     pub fn decode(bytes: Bytes) -> Result<Self, DecodeError> {
-        let payload = open_frame(bytes, KIND_GRADIENT, true)?;
+        let (payload, _) = open_frame(bytes, KIND_GRADIENT, true)?;
         Self::parse_payload(payload)
     }
 
-    /// Deserializes *without* verifying the checksum — the "guard off" path.
-    /// See [`ActivationMsg::decode_unchecked`].
+    /// Deserializes without *enforcing* the checksum, reporting the CRC
+    /// verdict as the second element. See [`ActivationMsg::decode_lenient`].
+    pub fn decode_lenient(bytes: Bytes) -> Result<(Self, bool), DecodeError> {
+        let (payload, crc_ok) = open_frame(bytes, KIND_GRADIENT, false)?;
+        Ok((Self::parse_payload(payload)?, crc_ok))
+    }
+
+    /// Deserializes *without* verifying the checksum.
+    ///
+    /// **Deprecated**: see [`ActivationMsg::decode_unchecked`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use decode (enforced CRC) or decode_lenient (reported CRC) instead"
+    )]
     pub fn decode_unchecked(bytes: Bytes) -> Result<Self, DecodeError> {
-        let payload = open_frame(bytes, KIND_GRADIENT, false)?;
-        Self::parse_payload(payload)
+        Self::decode_lenient(bytes).map(|(msg, _)| msg)
     }
 
     fn parse_payload(mut buf: Bytes) -> Result<Self, DecodeError> {
@@ -574,20 +605,42 @@ mod tests {
     }
 
     #[test]
-    fn decode_unchecked_skips_crc_but_not_structure() {
+    fn decode_lenient_reports_crc_but_not_structure() {
         let msg = sample_activation();
         // Flip a data byte deep in the tensor payload: CRC decode rejects,
-        // unchecked decode lets the (numerically garbled) message through.
+        // lenient decode lets the (numerically garbled) message through but
+        // reports the dirty checksum.
         let mut raw = msg.encode().as_ref().to_vec();
         let idx = raw.len() - 20;
         raw[idx] ^= 0x40;
         assert!(ActivationMsg::decode(Bytes::from_vec(raw.clone())).is_err());
-        let garbled = ActivationMsg::decode_unchecked(Bytes::from_vec(raw)).expect("parseable");
+        let (garbled, crc_ok) =
+            ActivationMsg::decode_lenient(Bytes::from_vec(raw)).expect("parseable");
+        assert!(!crc_ok);
         assert_eq!(garbled.from, msg.from);
         assert_ne!(garbled, msg);
+        // A clean frame reports a clean checksum.
+        let (clean, crc_ok) = ActivationMsg::decode_lenient(msg.encode()).expect("clean");
+        assert!(crc_ok);
+        assert_eq!(clean, msg);
         // Truncation stays an error on both paths.
         let cut = msg.encode().as_ref()[..40].to_vec();
-        assert!(ActivationMsg::decode_unchecked(Bytes::from_vec(cut)).is_err());
+        assert!(ActivationMsg::decode_lenient(Bytes::from_vec(cut)).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_decode_unchecked_still_matches_lenient() {
+        let msg = sample_activation();
+        let mut raw = msg.encode().as_ref().to_vec();
+        let idx = raw.len() - 24;
+        raw[idx] ^= 0x08;
+        let via_wrapper =
+            ActivationMsg::decode_unchecked(Bytes::from_vec(raw.clone())).expect("parseable");
+        let (via_lenient, crc_ok) =
+            ActivationMsg::decode_lenient(Bytes::from_vec(raw)).expect("parseable");
+        assert!(!crc_ok);
+        assert_eq!(via_wrapper, via_lenient);
     }
 
     #[test]

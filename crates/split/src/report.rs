@@ -188,6 +188,30 @@ pub struct AsyncReport {
     /// stragglers' outstanding batches.
     #[serde(default)]
     pub deadline_partial_applies: u64,
+    /// Updates poisoned at the sender by an adversarial persona.
+    #[serde(default)]
+    pub attacks_injected: u64,
+    /// Robust-aggregation windows combined and applied.
+    #[serde(default)]
+    pub robust_applies: u64,
+    /// Window members flagged as statistical outliers by the robust
+    /// aggregator.
+    #[serde(default)]
+    pub robust_outliers: u64,
+    /// Update-slots excluded from robust combines (trimmed, clipped or
+    /// unselected), totalled over all applied windows.
+    #[serde(default)]
+    pub updates_trimmed: u64,
+    /// Final test accuracy averaged over the encoders of end-systems
+    /// *not* in quarantine when the run ended — the fleet the server
+    /// still serves. Equals [`Self::final_accuracy`] when nothing was
+    /// exiled. Under a Byzantine attack this is the defense's headline:
+    /// an exiled attacker's own encoder is attacker-owned and no
+    /// server-side policy can train it honestly, so averaging it into
+    /// [`Self::final_accuracy`] measures the attacker's self-harm, not
+    /// the defense.
+    #[serde(default)]
+    pub active_accuracy: f32,
     /// Communication totals.
     pub comm: CommReport,
 }
@@ -249,6 +273,7 @@ mod tests {
             cut_blocks: 1,
             sim_seconds: 1.5,
             final_accuracy: 0.4,
+            active_accuracy: 0.4,
             served_per_client: vec![3, 4],
             service_imbalance: 0.1,
             mean_queue_depth: 0.5,
@@ -281,6 +306,10 @@ mod tests {
             batches_shed: 2,
             breaker_trips: 0,
             deadline_partial_applies: 0,
+            attacks_injected: 3,
+            robust_applies: 2,
+            robust_outliers: 1,
+            updates_trimmed: 4,
             comm: CommReport::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
@@ -292,6 +321,10 @@ mod tests {
         assert_eq!(back.downtime_ms_per_client, vec![0.0, 12.5]);
         assert_eq!(back.clients_joined, 1);
         assert_eq!(back.batches_shed, 2);
+        assert_eq!(back.attacks_injected, 3);
+        assert_eq!(back.robust_applies, 2);
+        assert_eq!(back.robust_outliers, 1);
+        assert_eq!(back.updates_trimmed, 4);
     }
 
     #[test]
@@ -323,5 +356,9 @@ mod tests {
         assert_eq!(r.batches_shed, 0);
         assert_eq!(r.breaker_trips, 0);
         assert_eq!(r.deadline_partial_applies, 0);
+        assert_eq!(r.attacks_injected, 0);
+        assert_eq!(r.robust_applies, 0);
+        assert_eq!(r.robust_outliers, 0);
+        assert_eq!(r.updates_trimmed, 0);
     }
 }

@@ -1,6 +1,7 @@
 //! The centralized server: upper layers, loss, and the single shared model
 //! trained on every end-system's smashed activations.
 
+use crate::aggregate::{AggregationPolicy, RobustAggregator, RobustApply};
 use crate::guard::{validate_update, Anomaly, GuardConfig};
 use crate::protocol::{ActivationMsg, GradientMsg};
 use stsl_data::ImageDataset;
@@ -35,6 +36,8 @@ pub struct CentralServer {
     steps: u64,
     served_per_client: Vec<u64>,
     train_loss: RunningMean,
+    robust: Option<RobustAggregator>,
+    last_robust: Option<RobustApply>,
 }
 
 impl CentralServer {
@@ -47,7 +50,95 @@ impl CentralServer {
             steps: 0,
             served_per_client: vec![0; end_systems],
             train_loss: RunningMean::new(),
+            robust: None,
+            last_robust: None,
         }
+    }
+
+    /// Enables windowed robust aggregation: per-batch gradients are
+    /// buffered and combined under `policy` every `window` batches, and
+    /// only the combined gradient reaches the optimizer (batches between
+    /// window boundaries step nothing). `outlier_factor` scales the
+    /// statistical-outlier threshold (see
+    /// [`crate::aggregate::outlier_flags`]), and `refine` enables the
+    /// two-pass outlier-exclusion recombine
+    /// ([`RobustAggregator::refine_outliers`] — the trainer sets it when
+    /// the integrity guard is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `outlier_factor` is non-positive.
+    pub fn enable_robust_aggregation(
+        &mut self,
+        policy: AggregationPolicy,
+        window: usize,
+        outlier_factor: f32,
+        refine: bool,
+    ) {
+        self.robust = Some(
+            RobustAggregator::new(policy, window)
+                .outlier_factor(outlier_factor)
+                .refine_outliers(refine),
+        );
+    }
+
+    /// Whether robust aggregation is active.
+    pub fn robust_enabled(&self) -> bool {
+        self.robust.is_some()
+    }
+
+    /// Resizes the aggregation window (no-op when robust aggregation is
+    /// off). The trainer calls this as senders enter and leave
+    /// quarantine so the window tracks the active cohort — a window
+    /// waiting on updates from exiled senders would slow the optimizer
+    /// cadence for everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn set_robust_window(&mut self, window: usize) {
+        if let Some(agg) = self.robust.as_mut() {
+            agg.set_window(window);
+        }
+    }
+
+    /// The current aggregation window size, if robust aggregation is on.
+    pub fn robust_window(&self) -> Option<usize> {
+        self.robust.as_ref().map(|agg| agg.window())
+    }
+
+    /// Takes the outcome of the most recent robust window apply, if one
+    /// happened since the last call (the trainer polls this after each
+    /// served batch to drive counters, telemetry and quarantine).
+    pub fn take_robust_apply(&mut self) -> Option<RobustApply> {
+        self.last_robust.take()
+    }
+
+    /// Discards any buffered not-yet-combined updates (called on
+    /// watchdog rollback so stale gradients never cross the restore
+    /// boundary).
+    pub fn clear_robust_buffer(&mut self) {
+        if let Some(agg) = self.robust.as_mut() {
+            agg.clear();
+        }
+        self.last_robust = None;
+    }
+
+    fn flat_grads(&mut self) -> Vec<f32> {
+        let mut flat = Vec::new();
+        self.model
+            .visit_params(&mut |p| flat.extend_from_slice(p.grad.as_slice()));
+        flat
+    }
+
+    fn write_grads(&mut self, combined: &[f32]) {
+        let mut offset = 0usize;
+        self.model.visit_params(&mut |p| {
+            let dst = p.grad.as_mut_slice();
+            dst.copy_from_slice(&combined[offset..offset + dst.len()]);
+            offset += dst.len();
+        });
+        debug_assert_eq!(offset, combined.len(), "combined gradient length drift");
     }
 
     /// Total batches processed.
@@ -70,6 +161,12 @@ impl CentralServer {
     /// loss, backward, optimizer step, and the cut-layer gradient to send
     /// back.
     ///
+    /// With robust aggregation enabled
+    /// ([`CentralServer::enable_robust_aggregation`]) the per-batch
+    /// gradient is buffered instead of applied; the optimizer steps only
+    /// when a full window is combined. The cut-layer gradient returned to
+    /// the sender is unchanged either way.
+    ///
     /// # Panics
     ///
     /// Panics if the message's client id is out of range or shapes are
@@ -84,7 +181,17 @@ impl CentralServer {
         let logits = self.model.forward(&msg.activations, Mode::Train);
         let out = self.loss.forward(&logits, &msg.targets);
         let cut_grad = self.model.backward(&out.grad);
-        self.model.step(self.opt.as_mut());
+        if let Some(mut agg) = self.robust.take() {
+            let flat = self.flat_grads();
+            if let Some(apply) = agg.push(msg.from.0, flat) {
+                self.write_grads(&apply.combined);
+                self.model.step(self.opt.as_mut());
+                self.last_robust = Some(apply);
+            }
+            self.robust = Some(agg);
+        } else {
+            self.model.step(self.opt.as_mut());
+        }
         self.steps += 1;
         self.served_per_client[msg.from.0] += 1;
         self.train_loss.push(out.value);

@@ -58,6 +58,12 @@ pub enum JournalKind {
     BreakerTrip,
     /// A round deadline fired and the partial quorum was applied.
     DeadlinePartial,
+    /// An adversarial persona poisoned an outgoing update.
+    AttackInjected,
+    /// The robust aggregator combined a full window of updates.
+    RobustApply,
+    /// The robust aggregator flagged a sender as a statistical outlier.
+    RobustOutlier,
 }
 
 impl JournalKind {
@@ -86,6 +92,9 @@ impl JournalKind {
             JournalKind::IngressShed => "ingress_shed",
             JournalKind::BreakerTrip => "breaker_trip",
             JournalKind::DeadlinePartial => "deadline_partial",
+            JournalKind::AttackInjected => "attack_injected",
+            JournalKind::RobustApply => "robust_apply",
+            JournalKind::RobustOutlier => "robust_outlier",
         }
     }
 }

@@ -33,13 +33,22 @@ pub enum MetricId {
     /// Cumulative batches shed by the bounded ingress queue, sampled at
     /// each telemetry snapshot (a count, not microseconds).
     ShedRate,
+    /// Cumulative updates refused or flagged by the defense layer
+    /// (ingress anomalies, quarantine drops and robust-aggregation
+    /// outliers), sampled at each telemetry snapshot when robust
+    /// aggregation is active (a count, not microseconds).
+    RejectedUpdateRate,
+    /// Per-window trim fraction of the robust aggregation policy, in
+    /// permille of the window, recorded at each window apply (a ratio,
+    /// not microseconds).
+    TrimFraction,
 }
 
 impl MetricId {
     /// Every registered metric, in export order. `snapshot` iterates this
     /// array, so a variant missing here would silently vanish from every
     /// export — the audit's R5 rule exists to make that impossible.
-    pub const ALL: [MetricId; 7] = [
+    pub const ALL: [MetricId; 9] = [
         MetricId::UplinkLatency,
         MetricId::DownlinkLatency,
         MetricId::QueueDepth,
@@ -47,6 +56,8 @@ impl MetricId {
         MetricId::ServiceTime,
         MetricId::MembershipSize,
         MetricId::ShedRate,
+        MetricId::RejectedUpdateRate,
+        MetricId::TrimFraction,
     ];
 
     /// Stable snake_case label used in snapshot export.
@@ -59,6 +70,8 @@ impl MetricId {
             MetricId::ServiceTime => "service_time_us",
             MetricId::MembershipSize => "membership_size",
             MetricId::ShedRate => "shed_rate",
+            MetricId::RejectedUpdateRate => "rejected_update_rate",
+            MetricId::TrimFraction => "trim_fraction",
         }
     }
 }

@@ -2,15 +2,38 @@
 //! invariants and model-splitting laws under randomized inputs.
 
 use proptest::prelude::*;
+use rand::Rng;
 use spatio_temporal_split_learning::data::{Partition, SyntheticCifar};
 use spatio_temporal_split_learning::nn::Mode;
 use spatio_temporal_split_learning::simnet::EndSystemId;
 use spatio_temporal_split_learning::split::protocol::{
     ActivationMsg, BatchId, GradientMsg, WIRE_HEADER_BYTES,
 };
-use spatio_temporal_split_learning::split::{CnnArch, CutPoint};
+use spatio_temporal_split_learning::split::{combine, AggregationPolicy, CnnArch, CutPoint};
 use spatio_temporal_split_learning::tensor::init::rng_from_seed;
 use spatio_temporal_split_learning::tensor::Tensor;
+
+/// Every aggregation policy under test, parameterized by a small-int
+/// strategy so proptest can shrink across them.
+fn policy_from(which: u8, trim: f32, f: usize) -> AggregationPolicy {
+    match which % 5 {
+        0 => AggregationPolicy::Mean,
+        1 => AggregationPolicy::CoordinateMedian,
+        2 => AggregationPolicy::TrimmedMean { trim },
+        3 => AggregationPolicy::NormClippedMean,
+        _ => AggregationPolicy::Krum {
+            assumed_attackers: f,
+        },
+    }
+}
+
+/// A window of `n` random updates of dimension `dim`.
+fn random_window(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rng_from_seed(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -103,7 +126,7 @@ proptest! {
         let keep = ((raw.len() - 1) as f64 * keep_frac) as usize;
         let cut = raw[..keep].to_vec();
         prop_assert!(ActivationMsg::decode(cut.clone().into()).is_err());
-        prop_assert!(ActivationMsg::decode_unchecked(cut.into()).is_err());
+        prop_assert!(ActivationMsg::decode_lenient(cut.into()).is_err());
     }
 
     /// Arbitrary byte soup — with or without a plausible-looking header —
@@ -123,9 +146,9 @@ proptest! {
             soup[6..10].copy_from_slice(&len.to_le_bytes());
         }
         let _ = ActivationMsg::decode(soup.clone().into());
-        let _ = ActivationMsg::decode_unchecked(soup.clone().into());
+        let _ = ActivationMsg::decode_lenient(soup.clone().into());
         let _ = GradientMsg::decode(soup.clone().into());
-        let _ = GradientMsg::decode_unchecked(soup.into());
+        let _ = GradientMsg::decode_lenient(soup.into());
     }
 
     #[test]
@@ -152,6 +175,80 @@ proptest! {
         let direct = full.forward(&x, Mode::Eval);
         let composed = upper.forward(&lower.forward(&x, Mode::Eval), Mode::Eval);
         prop_assert_eq!(direct, composed);
+    }
+
+    /// R1 for the aggregation seam: every policy is *bitwise* invariant
+    /// to the arrival order of the window — the property that makes the
+    /// poison sweep byte-identical across STSL_THREADS settings.
+    #[test]
+    fn aggregation_is_bitwise_permutation_invariant(
+        which in 0u8..5, n in 2usize..8, dim in 1usize..6,
+        seed in 0u64..500, rot in 1usize..7, trim in 0.0f32..0.49,
+        f in 0usize..3
+    ) {
+        let policy = policy_from(which, trim, f);
+        let u = random_window(n, dim, seed);
+        let mut perm = u.clone();
+        perm.rotate_left(rot % n);
+        if n >= 2 { perm.swap(0, n - 1); }
+        let a = combine(policy, &u);
+        let b = combine(policy, &perm);
+        prop_assert_eq!(a.combined, b.combined);
+        prop_assert_eq!(a.trimmed, b.trimmed);
+    }
+
+    /// Trimming nothing must be *exactly* the mean — same floats, not
+    /// merely close — so `TrimmedMean { trim: 0.0 }` can serve as a
+    /// drop-in mean with outlier reporting.
+    #[test]
+    fn trim_zero_is_bitwise_mean(
+        n in 1usize..8, dim in 1usize..6, seed in 0u64..500
+    ) {
+        let u = random_window(n, dim, seed);
+        let a = combine(AggregationPolicy::TrimmedMean { trim: 0.0 }, &u);
+        let b = combine(AggregationPolicy::Mean, &u);
+        prop_assert_eq!(a.combined, b.combined);
+    }
+
+    /// The classical robustness guarantee: with at most `f` attackers in
+    /// a window of `2f + 1` or more updates, coordinate-median and
+    /// trimmed mean (trim depth ≥ f) stay inside the honest coordinate
+    /// range — no attacker value, however extreme, can drag a coordinate
+    /// past the honest envelope.
+    #[test]
+    fn median_and_trimmed_stay_in_honest_range(
+        extra in 0usize..5, f in 1usize..3, dim in 1usize..5,
+        seed in 0u64..500, gain in 1.0f32..100.0
+    ) {
+        // Honest majority by construction: n_honest = 2f + 1 + extra.
+        let honest_n = 2 * f + 1 + extra;
+        let honest = random_window(honest_n, dim, seed);
+        let mut window = honest.clone();
+        for a in 0..f {
+            // Adversarial update: huge alternating-sign coordinates.
+            window.push(
+                (0..dim)
+                    .map(|j| if (a + j) % 2 == 0 { gain * 50.0 } else { -gain * 50.0 })
+                    .collect(),
+            );
+        }
+        let n = window.len();
+        let trim = (f as f32 + 0.5) / n as f32; // depth ≥ f each side
+        for policy in [
+            AggregationPolicy::CoordinateMedian,
+            AggregationPolicy::TrimmedMean { trim },
+        ] {
+            let out = combine(policy, &window);
+            for j in 0..dim {
+                let lo = honest.iter().map(|h| h[j]).fold(f32::INFINITY, f32::min);
+                let hi = honest.iter().map(|h| h[j]).fold(f32::NEG_INFINITY, f32::max);
+                prop_assert!(
+                    out.combined[j] >= lo && out.combined[j] <= hi,
+                    "{:?} coordinate {} = {} escaped honest range [{}, {}]",
+                    policy, j, out.combined[j], lo, hi
+                );
+            }
+        }
     }
 
     #[test]
