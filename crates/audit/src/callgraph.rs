@@ -1,0 +1,368 @@
+//! Workspace call graph for the panic-reachability rule (R6).
+//!
+//! Nodes are the non-test functions of the *reachability domain* —
+//! `crates/{split,simnet,telemetry,data}/src/` — built from the parser's
+//! per-file output. `tensor` and `nn` are a deliberate, documented
+//! boundary: their panic-on-misuse contracts (shape checks) are validated
+//! at the call site by construction, guarded separately by R1 and the
+//! bitwise-equivalence tests, and chasing edges into the kernel crates
+//! would drown the rule in indexing-heavy numeric code.
+//!
+//! Call-site resolution is name-based and intentionally conservative:
+//!
+//! - `self.m()` and `Type::m()` / `Self::m()` resolve precisely via the
+//!   impl type recorded by the parser;
+//! - `module::f()` also matches free functions in the file `module.rs`;
+//! - bare `expr.m()` resolves to every domain method named `m`, except
+//!   names on [`STD_METHOD_NAMES`] — std-trait/container vocabulary that
+//!   would otherwise create bogus edges (`Vec::push` → `Ring::push`);
+//! - free `f()` prefers same-file functions, falling back to every free
+//!   domain function named `f`.
+//!
+//! Reachability is a BFS from the entry functions with parent pointers,
+//! so every finding can report its full entry-point → panic chain.
+
+use crate::parser::{CallKind, FnInfo, PanicSite, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Method names that belong to std containers/iterators/traits; a bare
+/// `expr.name()` with one of these names is never resolved to a domain
+/// method (precise `self.`/`Type::` calls still are).
+pub const STD_METHOD_NAMES: [&str; 60] = [
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "drain",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flatten",
+    "fmt",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "parse",
+    "pop",
+    "position",
+    "push",
+    "remove",
+    "retain",
+    "rev",
+    "sort",
+    "sort_by",
+    "split",
+    "starts_with",
+    "sum",
+    "take",
+    "to_string",
+    "to_vec",
+    "trim",
+];
+
+/// One node of the call graph.
+#[derive(Debug)]
+pub struct Node {
+    /// Repo-relative path of the file the function lives in.
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// Impl self type for methods.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Call sites (copied from the parser).
+    calls: Vec<crate::parser::CallSite>,
+    /// Panic sites (copied from the parser).
+    pub panics: Vec<PanicSite>,
+}
+
+/// One hop of a reachability chain, for finding messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainHop {
+    /// File of the function.
+    pub path: String,
+    /// Line of the function.
+    pub line: usize,
+    /// Display name (`Type::method` or `function`).
+    pub name: String,
+}
+
+/// The workspace call graph over the reachability domain.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All nodes.
+    pub nodes: Vec<Node>,
+    /// Free functions by name.
+    free_by_name: BTreeMap<String, Vec<usize>>,
+    /// Methods by (self type, name).
+    method_by_qual: BTreeMap<(String, String), Vec<usize>>,
+    /// Methods by bare name.
+    method_by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from parsed files (path, parse result). Test
+    /// functions are excluded — they may panic freely.
+    pub fn build(files: &[(String, ParsedFile)]) -> Self {
+        let mut g = CallGraph::default();
+        for (path, parsed) in files {
+            for f in &parsed.functions {
+                if f.is_test {
+                    continue;
+                }
+                g.add(path, f);
+            }
+        }
+        g
+    }
+
+    fn add(&mut self, path: &str, f: &FnInfo) {
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            path: path.to_string(),
+            name: f.name.clone(),
+            qual: f.qual.clone(),
+            line: f.line,
+            calls: f.calls.clone(),
+            panics: f.panics.clone(),
+        });
+        match &f.qual {
+            Some(q) => {
+                self.method_by_qual
+                    .entry((q.clone(), f.name.clone()))
+                    .or_default()
+                    .push(idx);
+                self.method_by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(idx);
+            }
+            None => self
+                .free_by_name
+                .entry(f.name.clone())
+                .or_default()
+                .push(idx),
+        }
+    }
+
+    /// Resolves the outgoing edges of node `from`.
+    fn edges(&self, from: usize) -> Vec<usize> {
+        let node = &self.nodes[from];
+        let mut out: BTreeSet<usize> = BTreeSet::new();
+        for call in &node.calls {
+            match &call.kind {
+                CallKind::Free(name) => {
+                    if let Some(cands) = self.free_by_name.get(name) {
+                        let same_file: Vec<usize> = cands
+                            .iter()
+                            .copied()
+                            .filter(|&i| self.nodes[i].path == node.path)
+                            .collect();
+                        out.extend(if same_file.is_empty() {
+                            cands.clone()
+                        } else {
+                            same_file
+                        });
+                    }
+                }
+                CallKind::Method { name, on_self } => {
+                    if *on_self {
+                        if let Some(q) = &node.qual {
+                            if let Some(c) = self.method_by_qual.get(&(q.clone(), name.clone())) {
+                                out.extend(c.iter().copied());
+                            }
+                        }
+                    } else if !STD_METHOD_NAMES.contains(&name.as_str()) {
+                        if let Some(c) = self.method_by_name.get(name) {
+                            out.extend(c.iter().copied());
+                        }
+                    }
+                }
+                CallKind::Path(qual, name) => {
+                    let qual = if qual == "Self" {
+                        match &node.qual {
+                            Some(q) => q.clone(),
+                            None => continue,
+                        }
+                    } else {
+                        qual.clone()
+                    };
+                    if let Some(c) = self.method_by_qual.get(&(qual.clone(), name.clone())) {
+                        out.extend(c.iter().copied());
+                    }
+                    // `module::f()` where the module is a file of the
+                    // same name: match free fns in `…/<qual>.rs`.
+                    if let Some(cands) = self.free_by_name.get(name) {
+                        let file = format!("/{qual}.rs");
+                        out.extend(
+                            cands
+                                .iter()
+                                .copied()
+                                .filter(|&i| self.nodes[i].path.ends_with(&file)),
+                        );
+                    }
+                }
+            }
+        }
+        out.remove(&from);
+        out.into_iter().collect()
+    }
+
+    /// BFS from `entries`; returns, for every reached node, the chain of
+    /// node indices from its entry function to the node itself.
+    pub fn reachable_with_chains(&self, entries: &[usize]) -> BTreeMap<usize, Vec<usize>> {
+        let mut parent: BTreeMap<usize, Option<usize>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &e in entries {
+            if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(e) {
+                v.insert(None);
+                queue.push_back(e);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for m in self.edges(n) {
+                if let std::collections::btree_map::Entry::Vacant(v) = parent.entry(m) {
+                    v.insert(Some(n));
+                    queue.push_back(m);
+                }
+            }
+        }
+        let mut out = BTreeMap::new();
+        for &n in parent.keys() {
+            let mut chain = vec![n];
+            let mut cur = n;
+            while let Some(Some(p)) = parent.get(&cur) {
+                chain.push(*p);
+                cur = *p;
+            }
+            chain.reverse();
+            out.insert(n, chain);
+        }
+        out
+    }
+
+    /// Display name of a node: `Type::method` or a bare function name.
+    pub fn display_name(&self, i: usize) -> String {
+        let n = &self.nodes[i];
+        match &n.qual {
+            Some(q) => format!("{q}::{}", n.name),
+            None => n.name.clone(),
+        }
+    }
+
+    /// A [`ChainHop`] for node `i`.
+    pub fn hop(&self, i: usize) -> ChainHop {
+        ChainHop {
+            path: self.nodes[i].path.clone(),
+            line: self.nodes[i].line,
+            name: self.display_name(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn fns_in_file(g: &CallGraph, path: &str) -> Vec<usize> {
+        (0..g.nodes.len())
+            .filter(|&i| g.nodes[i].path == path)
+            .collect()
+    }
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<(String, ParsedFile)> = files
+            .iter()
+            .map(|(p, src)| (p.to_string(), parse_file(&lex(src).tokens, &[])))
+            .collect();
+        CallGraph::build(&parsed)
+    }
+
+    #[test]
+    fn cross_file_chain_is_reported() {
+        let g = graph(&[
+            (
+                "crates/split/src/protocol.rs",
+                "pub fn decode(b: &[u8]) { crate::server::poke(b); }",
+            ),
+            (
+                "crates/split/src/server.rs",
+                "pub fn poke(b: &[u8]) -> u8 { b[0] }",
+            ),
+        ]);
+        let entries = fns_in_file(&g, "crates/split/src/protocol.rs");
+        let reached = g.reachable_with_chains(&entries);
+        let poke = (0..g.nodes.len())
+            .find(|&i| g.nodes[i].name == "poke")
+            .unwrap();
+        let chain = reached.get(&poke).expect("poke reachable");
+        assert_eq!(chain.len(), 2);
+        assert_eq!(g.display_name(chain[0]), "decode");
+    }
+
+    #[test]
+    fn std_method_names_do_not_create_edges() {
+        let g = graph(&[
+            (
+                "crates/split/src/protocol.rs",
+                "pub fn decode(v: &mut Vec<u8>) { v.push(1); }",
+            ),
+            (
+                "crates/split/src/ring.rs",
+                "impl Ring { pub fn push(&mut self) { panic!(\"boom\") } }",
+            ),
+        ]);
+        let entries = fns_in_file(&g, "crates/split/src/protocol.rs");
+        let reached = g.reachable_with_chains(&entries);
+        assert_eq!(reached.len(), 1, "only the entry itself is reachable");
+    }
+
+    #[test]
+    fn self_calls_resolve_precisely() {
+        let g = graph(&[(
+            "crates/split/src/a.rs",
+            "impl A { pub fn go(&self) { self.helper() } fn helper(&self) { todo!() } }\n\
+             impl B { pub fn helper(&self) {} }",
+        )]);
+        let go = (0..g.nodes.len())
+            .find(|&i| g.nodes[i].name == "go")
+            .unwrap();
+        let e = g.edges(go);
+        assert_eq!(e.len(), 1);
+        assert_eq!(g.display_name(e[0]), "A::helper");
+    }
+}

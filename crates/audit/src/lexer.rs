@@ -16,11 +16,46 @@ pub enum TokKind {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `:` tokens).
     Punct(char),
-    /// Any literal (number, string, char). Contents are irrelevant to the
-    /// rules, so they are not preserved.
-    Literal,
+    /// A literal, classified (see [`Lit`]). String/char contents are
+    /// dropped so `"unwrap("` can never trigger a rule; numeric text is
+    /// preserved because the flow rules (R7/R8) need it.
+    Literal(Lit),
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
+}
+
+/// Literal classification. Only numbers keep their text: R7 must tell a
+/// float accumulator seed (`fold(0.0, …)`) from an integer one, and R8
+/// compares seed-stream constants for aliasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lit {
+    /// String / raw-string / byte-string literal; contents dropped.
+    Str,
+    /// Char or byte-char literal; contents dropped.
+    Char,
+    /// Integer literal with its raw text (`42`, `0xFF`, `5000`).
+    Int(String),
+    /// Float literal with its raw text (`0.0`, `1e-3`, `2f32`).
+    Float(String),
+}
+
+/// Classifies a numeric literal's raw text. Radix prefixes are always
+/// integers; otherwise a fraction dot, an `f32`/`f64` suffix or a bare
+/// exponent (`1e9`) makes it a float.
+fn classify_number(text: &str) -> Lit {
+    let lower = text.to_ascii_lowercase();
+    if lower.starts_with("0x") || lower.starts_with("0b") || lower.starts_with("0o") {
+        return Lit::Int(text.to_string());
+    }
+    let exp_only = lower.contains('e')
+        && lower
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '_' || c == 'e');
+    if lower.contains('.') || lower.ends_with("f32") || lower.ends_with("f64") || exp_only {
+        Lit::Float(text.to_string())
+    } else {
+        Lit::Int(text.to_string())
+    }
 }
 
 /// One lexed token with its 1-based source line.
@@ -49,6 +84,27 @@ impl Tok {
     /// Whether this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is any literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self.kind, TokKind::Literal(_))
+    }
+
+    /// The raw text of a float literal, if this token is one.
+    pub fn float_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Literal(Lit::Float(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The raw text of a numeric (int or float) literal, if any.
+    pub fn num_text(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Literal(Lit::Int(s)) | TokKind::Literal(Lit::Float(s)) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -146,7 +202,7 @@ pub fn lex(src: &str) -> Lexed {
             bump!(1);
             consume_string_body(&bytes, &mut i, &mut line);
             out.tokens.push(Tok {
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(Lit::Str),
                 line: start_line,
             });
             continue;
@@ -174,7 +230,7 @@ pub fn lex(src: &str) -> Lexed {
                     consume_string_body(&bytes, &mut i, &mut line);
                 }
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(Lit::Str),
                     line: start_line,
                 });
                 continue;
@@ -184,7 +240,7 @@ pub fn lex(src: &str) -> Lexed {
                 bump!(2);
                 consume_char_body(&bytes, &mut i, &mut line);
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(Lit::Char),
                     line: start_line,
                 });
                 continue;
@@ -209,7 +265,7 @@ pub fn lex(src: &str) -> Lexed {
             } else {
                 consume_char_body(&bytes, &mut i, &mut line);
                 out.tokens.push(Tok {
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(Lit::Char),
                     line: start_line,
                 });
             }
@@ -235,6 +291,7 @@ pub fn lex(src: &str) -> Lexed {
         // (`1.5`), never a range (`0..8`).
         if c.is_ascii_digit() {
             let start_line = line;
+            let start = i;
             while i < bytes.len() {
                 let d = bytes[i];
                 let fraction_dot =
@@ -245,8 +302,9 @@ pub fn lex(src: &str) -> Lexed {
                     break;
                 }
             }
+            let text: String = bytes[start..i].iter().collect();
             out.tokens.push(Tok {
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(classify_number(&text)),
                 line: start_line,
             });
             continue;
@@ -373,13 +431,64 @@ mod tests {
             .iter()
             .filter(|t| t.kind == TokKind::Lifetime)
             .count();
-        let literals = lexed
-            .tokens
-            .iter()
-            .filter(|t| t.kind == TokKind::Literal)
-            .count();
+        let literals = lexed.tokens.iter().filter(|t| t.is_literal()).count();
         assert_eq!(lifetimes, 2);
         assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_end_only_at_the_matching_fence() {
+        // `"#` inside an `r##"…"##` string is content, not a terminator:
+        // ending early would leak `unwrap(` as real tokens.
+        let src = "let s = r##\"quote \"# then unwrap( still inside\"##;\nlet after = 1;";
+        let lexed = lex(src);
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect::<Vec<_>>();
+        assert!(!ids.contains(&"unwrap"), "{ids:?}");
+        let after = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("after token");
+        assert_eq!(after.line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        // Rust block comments nest; a naive scan would close at the first
+        // `*/` and leak `panic!` from the still-commented middle.
+        let src = "/* one /* two\n/* three */ panic!(\"no\") */\nstill comment */ let x = 1;";
+        let lexed = lex(src);
+        let ids = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident())
+            .collect::<Vec<_>>();
+        assert!(!ids.contains(&"panic"), "{ids:?}");
+        let x = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("x"))
+            .expect("x token");
+        assert_eq!(x.line, 3, "lines keep counting inside the comment");
+    }
+
+    #[test]
+    fn escaped_char_literals_and_labels_are_not_confused_with_lifetimes() {
+        let src = "fn f() { let a = '\\n'; let b = '\\''; let c = '\\\\'; \
+                   'outer: loop { break 'outer; } }";
+        let lexed = lex(src);
+        let literals = lexed.tokens.iter().filter(|t| t.is_literal()).count();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(literals, 3, "three escaped char literals");
+        assert_eq!(lifetimes, 2, "the loop label at declaration and break");
     }
 
     #[test]

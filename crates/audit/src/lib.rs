@@ -6,14 +6,14 @@
 //! iteration, `thread_rng()` or `unwrap()` silently re-breaks. This crate
 //! enforces them *statically*: it lexes every `.rs` file in the workspace
 //! (no `syn` — the build environment is offline, so the scanner is a
-//! purpose-built token lexer) and applies five rules:
+//! purpose-built token lexer), recovers functions and a workspace call
+//! graph from the token stream (`parser`/`callgraph`), and applies the
+//! rule set:
 //!
 //! - **R1 `determinism`** — no `HashMap`/`HashSet`, `Instant::now`,
 //!   `SystemTime`, `thread_rng` or raw `thread::spawn` in the
 //!   deterministic crates (`tensor`, `nn`, `split`, `simnet`,
 //!   `telemetry`).
-//! - **R2 `no-panic`** — no `unwrap`/`expect`/panicking macros/slice
-//!   indexing in the files that parse untrusted wire or disk bytes.
 //! - **R3 `counter-accounting`** — every `TraceKind` variant maps to a
 //!   live `AsyncReport`/`CommReport` counter and both sides are emitted.
 //! - **R4 `forbid-unsafe`** — every crate root declares
@@ -21,24 +21,41 @@
 //! - **R5 `metric-accounting`** — every telemetry `MetricId` variant maps
 //!   to a snapshot label the registry exports, and is recorded somewhere
 //!   in non-test code.
+//! - **R6 `panic-reachability`** — no `unwrap`/`expect`/panicking
+//!   macro/unchecked indexing in any function transitively reachable
+//!   from the untrusted-input entry points; findings carry the full
+//!   entry-point → panic call chain. Supersedes the old file-scoped
+//!   `no-panic` rule.
+//! - **R7 `float-reduction`** — non-associative float reductions only in
+//!   the sanctioned kernel seam (`tensor/src/ops/`, the `aggregate.rs`
+//!   combiners).
+//! - **R8 `rng-stream`** — every RNG derives from the seeded root
+//!   (`rng_from_seed`/`derive_seed`), with no seed-expression reuse.
+//! - **R9 `env-read`** — `env::var` only at the sanctioned
+//!   config/backend-selection sites.
 //!
-//! Suppressions are inline comments the tool counts and reports:
+//! Suppressions are inline comments the tool counts and reports, with a
+//! per-rule budget enforced by the `suppression-budget` meta-rule:
 //!
 //! ```text
 //! // stsl-audit: allow(determinism, reason = "wall-clock is informational")
 //! ```
 //!
-//! Run it with `cargo run -p stsl-audit`; exit code is nonzero on any
-//! unsuppressed finding. See DESIGN.md §9 for the rule table and how to
-//! add a rule.
+//! Run it with `cargo run -p stsl-audit` (add `--format json` for the
+//! SARIF-lite report CI consumes); exit code is nonzero on any
+//! unsuppressed finding. See DESIGN.md §9 and §14 for the rule table,
+//! the parser/call-graph architecture and how to add a rule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod callgraph;
 mod engine;
 mod lexer;
+mod parser;
 pub mod rules;
 
+pub use callgraph::ChainHop;
 pub use engine::{audit, AuditReport, Finding, SourceFile, UsedSuppression};
 
 use std::io;

@@ -1,27 +1,45 @@
 //! CLI entry point: audits the workspace this binary was built from.
 //!
 //! ```text
-//! cargo run -p stsl-audit            # audit the workspace
-//! cargo run -p stsl-audit -- <dir>   # audit another checkout
+//! cargo run -p stsl-audit                     # audit the workspace
+//! cargo run -p stsl-audit -- <dir>            # audit another checkout
+//! cargo run -p stsl-audit -- --format json    # SARIF-lite for CI
 //! ```
 //!
 //! Exit status: 0 when every finding is suppressed (suppressions are
 //! printed and counted), 1 on any unsuppressed finding, 2 on usage or
 //! I/O errors.
+//!
+//! The JSON output is SARIF-lite: the `version`/`runs[].tool`/
+//! `runs[].results[]` skeleton of SARIF 2.1.0, with each result carrying
+//! `ruleId`, `message.text`, one physical location and (for R6) a
+//! `codeFlows`-style chain under `properties.chain`. It is hand-written
+//! — the audit crate stays dependency-free — and consumed by the CI
+//! `audit` step for inline annotations.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use stsl_audit::{audit, collect_workspace_sources, find_workspace_root};
+use stsl_audit::{audit, collect_workspace_sources, find_workspace_root, AuditReport};
 
 fn main() -> ExitCode {
-    let root = match root_dir() {
-        Ok(root) => root,
+    let (root, format) = match parse_cli() {
+        Ok(v) => v,
         Err(msg) => {
             eprintln!("stsl-audit: {msg}");
             return ExitCode::from(2);
         }
+    };
+    let root = match root {
+        Some(root) => root,
+        None => match default_root() {
+            Ok(root) => root,
+            Err(msg) => {
+                eprintln!("stsl-audit: {msg}");
+                return ExitCode::from(2);
+            }
+        },
     };
     let files = match collect_workspace_sources(&root) {
         Ok(files) => files,
@@ -39,6 +57,59 @@ fn main() -> ExitCode {
     }
 
     let report = audit(&files);
+    match format {
+        Format::Text => print_text(&report),
+        Format::Json => println!("{}", to_sarif_lite(&report)),
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+enum Format {
+    Text,
+    Json,
+}
+
+/// Parses `[dir] [--format text|json]` in any order.
+fn parse_cli() -> Result<(Option<PathBuf>, Format), String> {
+    let mut root = None;
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--format" {
+            match args.next().as_deref() {
+                Some("json") => format = Format::Json,
+                Some("text") => format = Format::Text,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            }
+        } else if let Some(v) = arg.strip_prefix("--format=") {
+            match v {
+                "json" => format = Format::Json,
+                "text" => format = Format::Text,
+                other => return Err(format!("--format expects `text` or `json`, got `{other}`")),
+            }
+        } else if root.is_none() {
+            let path = PathBuf::from(&arg);
+            if !path.is_dir() {
+                return Err(format!("not a directory: {}", path.display()));
+            }
+            root = Some(path);
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    Ok((root, format))
+}
+
+fn print_text(report: &AuditReport) {
     for f in &report.findings {
         println!("{f}");
     }
@@ -57,24 +128,99 @@ fn main() -> ExitCode {
         report.findings.len(),
         report.suppressions.len()
     );
-    if report.findings.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    }
 }
 
-/// The directory to audit: the CLI argument if given, else the workspace
-/// that built this binary, else the current directory's workspace.
-fn root_dir() -> Result<PathBuf, String> {
-    let mut args = std::env::args_os().skip(1);
-    if let Some(arg) = args.next() {
-        let path = PathBuf::from(arg);
-        if path.is_dir() {
-            return Ok(path);
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
-        return Err(format!("not a directory: {}", path.display()));
     }
+    out
+}
+
+/// Serializes the report as SARIF-lite (hand-written; the audit crate is
+/// dependency-free by design).
+fn to_sarif_lite(report: &AuditReport) -> String {
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    rules.sort_unstable();
+    rules.dedup();
+    let rules_json: Vec<String> = rules
+        .iter()
+        .map(|r| format!("{{\"id\":\"{}\"}}", esc(r)))
+        .collect();
+
+    let results: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let chain = if f.chain.is_empty() {
+                String::new()
+            } else {
+                let hops: Vec<String> = f
+                    .chain
+                    .iter()
+                    .map(|h| {
+                        format!(
+                            "{{\"function\":\"{}\",\"uri\":\"{}\",\"startLine\":{}}}",
+                            esc(&h.name),
+                            esc(&h.path),
+                            h.line
+                        )
+                    })
+                    .collect();
+                format!(",\"properties\":{{\"chain\":[{}]}}", hops.join(","))
+            };
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]{}}}",
+                esc(f.rule),
+                esc(&f.message),
+                esc(&f.path),
+                f.line,
+                chain
+            )
+        })
+        .collect();
+
+    let suppressions: Vec<String> = report
+        .suppressions
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"rule\":\"{}\",\"uri\":\"{}\",\"line\":{},\"count\":{},\"reason\":\"{}\"}}",
+                esc(&s.rule),
+                esc(&s.path),
+                s.line,
+                s.count,
+                esc(&s.reason)
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"stsl-audit\",\
+         \"rules\":[{}]}}}},\"results\":[{}],\"properties\":{{\"filesScanned\":{},\
+         \"suppressions\":[{}]}}}}]}}",
+        rules_json.join(","),
+        results.join(","),
+        report.files_scanned,
+        suppressions.join(",")
+    )
+}
+
+/// The directory to audit when no CLI argument names one: the workspace
+/// that built this binary, else the current directory's workspace.
+fn default_root() -> Result<PathBuf, String> {
     let start = match std::env::var_os("CARGO_MANIFEST_DIR") {
         Some(dir) => PathBuf::from(dir),
         None => std::env::current_dir().map_err(|e| e.to_string())?,

@@ -1,0 +1,434 @@
+//! A lightweight item/function parser over the token stream.
+//!
+//! The flow rules (R6 panic-reachability) need more structure than a flat
+//! token scan: which function a token belongs to, what that function
+//! calls, and where it can panic. This module recovers exactly that — no
+//! types, no expressions — with a single pass over the lexer output:
+//!
+//! - `impl` blocks are tracked (including `impl Trait for Type`) so
+//!   methods know their self type and `Self::`/`self.` calls resolve
+//!   precisely;
+//! - `fn` items are collected with their body token range, nested
+//!   functions attributed to the innermost enclosing `fn`;
+//! - call sites are classified as free calls, method calls (with an
+//!   `on_self` flag) or path calls (`Type::method`);
+//! - panic sites record `.unwrap()`/`.expect()`, panicking macros and
+//!   index expressions.
+//!
+//! Functions whose first line falls inside a `#[cfg(test)]`/`#[test]`
+//! span are marked `is_test` and skipped by the call-graph builder.
+
+use crate::lexer::{Tok, TokKind};
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(…)` — a free function call (or tuple-struct construction,
+    /// which simply resolves to nothing).
+    Free(String),
+    /// `expr.name(…)`; `on_self` is true for the precise `self.name(…)`.
+    Method {
+        /// Method name.
+        name: String,
+        /// Whether the receiver is literally `self`.
+        on_self: bool,
+    },
+    /// `Qual::name(…)` — `Qual` is a type, `Self`, or a module name.
+    Path(String, String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee classification.
+    pub kind: CallKind,
+}
+
+/// What kind of panic a site is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()` or `.expect(…)`; the method name is preserved.
+    UnwrapLike(String),
+    /// A panicking macro (`panic!`, `assert!`, …); name preserved.
+    Macro(String),
+    /// `expr[…]` — unchecked slice/array indexing.
+    Index,
+}
+
+/// One potential-panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Panic classification.
+    pub kind: PanicKind,
+    /// 1-based line of the site.
+    pub line: usize,
+}
+
+/// One parsed function (or method).
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// The `impl` self type when this is a method, else `None`.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the function is test code (`#[test]` / `#[cfg(test)]`).
+    pub is_test: bool,
+    /// Token index range of the body (exclusive end), for per-fn scans.
+    pub body: (usize, usize),
+    /// Call sites in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Panic sites in the body, in source order.
+    pub panics: Vec<PanicSite>,
+}
+
+/// Parser output for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All functions in the file, in source order.
+    pub functions: Vec<FnInfo>,
+}
+
+/// Macros that abort the process when invoked as `name!`.
+pub const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Keywords that look like calls when followed by `(` but are not.
+const NON_CALL_KEYWORDS: [&str; 8] = [
+    "if", "while", "for", "match", "return", "loop", "move", "in",
+];
+
+/// One entry of the scope stack: either an `impl` block or a function
+/// body, with the brace depth at which its `{` opened.
+#[derive(Debug)]
+enum Scope {
+    Impl(Option<String>),
+    Fn(usize), // index into ParsedFile::functions
+}
+
+/// Parses one file's token stream. `excluded` is the line-span list from
+/// the engine's `#[cfg(test)]`/`#[test]` detection.
+pub fn parse_file(tokens: &[Tok], excluded: &[(usize, usize)]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    let in_excluded = |line: usize| excluded.iter().any(|&(a, b)| line >= a && line <= b);
+
+    // Scope stack entries paired with the brace depth of their body.
+    let mut scopes: Vec<(Scope, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+
+        if t.is_ident("impl") {
+            if let Some((ty, body_open)) = parse_impl_header(tokens, i) {
+                depth += 1;
+                scopes.push((Scope::Impl(ty), depth));
+                i = body_open + 1;
+                continue;
+            }
+        }
+
+        if t.is_ident("fn") {
+            if let Some(name) = tokens.get(i + 1).and_then(|n| n.ident()) {
+                let qual = scopes.iter().rev().find_map(|(s, _)| match s {
+                    Scope::Impl(ty) => Some(ty.clone()),
+                    Scope::Fn(_) => None,
+                });
+                match find_fn_body(tokens, i + 2) {
+                    Some(body_open) => {
+                        let idx = out.functions.len();
+                        out.functions.push(FnInfo {
+                            name: name.to_string(),
+                            qual: qual.flatten(),
+                            line: t.line,
+                            is_test: in_excluded(t.line),
+                            body: (body_open + 1, body_open + 1),
+                            calls: Vec::new(),
+                            panics: Vec::new(),
+                        });
+                        depth += 1;
+                        scopes.push((Scope::Fn(idx), depth));
+                        i = body_open + 1;
+                        continue;
+                    }
+                    None => {
+                        // Declaration without a body (trait method): skip
+                        // past the `;` so its signature is not scanned.
+                        let mut j = i + 2;
+                        while j < tokens.len() && !tokens[j].is_punct(';') {
+                            if tokens[j].is_punct('{') {
+                                break;
+                            }
+                            j += 1;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        match &t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                while scopes.last().is_some_and(|&(_, d)| d == depth) {
+                    if let Some((Scope::Fn(idx), _)) = scopes.pop() {
+                        out.functions[idx].body.1 = i;
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+
+        // Attribute calls/panics to the innermost enclosing fn.
+        let current_fn = scopes.iter().rev().find_map(|(s, _)| match s {
+            Scope::Fn(idx) => Some(*idx),
+            Scope::Impl(_) => None,
+        });
+        if let Some(idx) = current_fn {
+            scan_site(tokens, i, &mut out.functions[idx]);
+        }
+
+        i += 1;
+    }
+
+    // Close any still-open bodies at EOF (unterminated input).
+    for (s, _) in scopes {
+        if let Scope::Fn(idx) = s {
+            out.functions[idx].body.1 = tokens.len();
+        }
+    }
+    out
+}
+
+/// Parses the header of an `impl` at token `i`. Returns the self-type
+/// name (last path segment before generics) and the index of the body
+/// `{`, or `None` when no body brace is found.
+fn parse_impl_header(tokens: &[Tok], i: usize) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0usize;
+    let mut segs: Vec<String> = Vec::new();
+    let mut after_for: Option<usize> = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match &t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokKind::Punct('{') if angle == 0 => {
+                let relevant = match after_for {
+                    Some(k) => &segs[k..],
+                    None => &segs[..],
+                };
+                let ty = relevant
+                    .iter()
+                    .rev()
+                    .find(|s| !matches!(s.as_str(), "mut" | "dyn" | "where" | "Send" | "Sync"))
+                    .cloned();
+                return Some((ty, j));
+            }
+            TokKind::Punct(';') if angle == 0 => return None,
+            TokKind::Ident(s) if angle == 0 => {
+                if s == "for" {
+                    after_for = Some(segs.len());
+                } else {
+                    segs.push(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Finds the `{` opening a fn body, scanning from just past the fn name.
+/// Returns `None` for a body-less declaration (`fn f();`).
+fn find_fn_body(tokens: &[Tok], from: usize) -> Option<usize> {
+    let mut angle = 0usize;
+    let mut j = from;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        match &t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = angle.saturating_sub(1),
+            TokKind::Punct('{') if angle == 0 => return Some(j),
+            TokKind::Punct(';') if angle == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Classifies the token at `i` as a call site and/or panic site of `f`.
+fn scan_site(tokens: &[Tok], i: usize, f: &mut FnInfo) {
+    let t = &tokens[i];
+    let next_is = |c: char| matches!(tokens.get(i + 1), Some(n) if n.is_punct(c));
+    let prev_is = |k: usize, c: char| i >= k && tokens[i - k].is_punct(c);
+
+    if let Some(name) = t.ident() {
+        // Panicking macro invocation.
+        if PANIC_MACROS.contains(&name) && next_is('!') {
+            f.panics.push(PanicSite {
+                kind: PanicKind::Macro(name.to_string()),
+                line: t.line,
+            });
+            return;
+        }
+        if next_is('!') {
+            return; // non-panicking macro, not a call
+        }
+        if next_is('(') {
+            if prev_is(1, '.') {
+                if name == "unwrap" || name == "expect" {
+                    f.panics.push(PanicSite {
+                        kind: PanicKind::UnwrapLike(name.to_string()),
+                        line: t.line,
+                    });
+                    return;
+                }
+                let on_self = i >= 2
+                    && tokens[i - 2].is_ident("self")
+                    && !(i >= 3 && tokens[i - 3].is_punct('.'));
+                f.calls.push(CallSite {
+                    kind: CallKind::Method {
+                        name: name.to_string(),
+                        on_self,
+                    },
+                });
+                return;
+            }
+            if prev_is(1, ':') && prev_is(2, ':') && i >= 3 {
+                if let Some(qual) = tokens[i - 3].ident() {
+                    f.calls.push(CallSite {
+                        kind: CallKind::Path(qual.to_string(), name.to_string()),
+                    });
+                    return;
+                }
+            }
+            if !NON_CALL_KEYWORDS.contains(&name) {
+                f.calls.push(CallSite {
+                    kind: CallKind::Free(name.to_string()),
+                });
+            }
+            return;
+        }
+        return;
+    }
+
+    // Index expression: `[` directly after an ident, `)` or `]`.
+    if t.is_punct('[') && i > 0 {
+        let prev = &tokens[i - 1];
+        let indexing = matches!(prev.kind, TokKind::Ident(_))
+            || prev.is_punct(')')
+            || prev.is_punct(']')
+            || prev.is_literal();
+        if indexing {
+            f.panics.push(PanicSite {
+                kind: PanicKind::Index,
+                line: t.line,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src).tokens, &[])
+    }
+
+    #[test]
+    fn free_fn_with_calls_and_panics() {
+        let p = parse("fn a(x: &[u8]) -> u8 { helper(x); x[0] }\nfn helper(_x: &[u8]) {}");
+        assert_eq!(p.functions.len(), 2);
+        let a = &p.functions[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.qual, None);
+        assert!(a
+            .calls
+            .iter()
+            .any(|c| c.kind == CallKind::Free("helper".into())));
+        assert!(a.panics.iter().any(|s| s.kind == PanicKind::Index));
+    }
+
+    #[test]
+    fn impl_methods_get_their_self_type() {
+        let p = parse(
+            "impl Ring { fn push(&mut self) { self.grow(); Other::make(); } fn grow(&mut self) {} }",
+        );
+        assert_eq!(p.functions[0].qual.as_deref(), Some("Ring"));
+        let push = &p.functions[0];
+        assert!(push.calls.iter().any(|c| c.kind
+            == CallKind::Method {
+                name: "grow".into(),
+                on_self: true
+            }));
+        assert!(push
+            .calls
+            .iter()
+            .any(|c| c.kind == CallKind::Path("Other".into(), "make".into())));
+    }
+
+    #[test]
+    fn trait_impl_resolves_to_the_implementing_type() {
+        let p = parse("impl fmt::Display for Frame { fn fmt(&self) { self.check() } }");
+        assert_eq!(p.functions[0].qual.as_deref(), Some("Frame"));
+    }
+
+    #[test]
+    fn nested_fn_owns_its_own_panics() {
+        let p = parse("fn outer() { fn inner(v: &[u8]) -> u8 { v[0] } inner(&[]); }");
+        let outer = p.functions.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.functions.iter().find(|f| f.name == "inner").unwrap();
+        assert!(outer.panics.is_empty());
+        assert_eq!(inner.panics.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_and_macros_are_panic_sites_not_calls() {
+        let p = parse("fn f(o: Option<u8>) -> u8 { assert!(true); o.unwrap() }");
+        let f = &p.functions[0];
+        assert_eq!(f.panics.len(), 2);
+        assert!(f.calls.is_empty());
+    }
+
+    #[test]
+    fn vec_macro_bracket_is_not_indexing() {
+        let p = parse("fn f() { let _v = vec![0u8; 4]; }");
+        assert!(p.functions[0].panics.is_empty());
+    }
+
+    #[test]
+    fn generic_signatures_do_not_confuse_body_detection() {
+        let p = parse(
+            "fn f<T: Into<Vec<u8>>>(x: T) -> Result<(), ()> where T: Clone { drop(x); Ok(()) }",
+        );
+        assert_eq!(p.functions.len(), 1);
+        assert!(p.functions[0]
+            .calls
+            .iter()
+            .any(|c| c.kind == CallKind::Free("drop".into())));
+    }
+
+    #[test]
+    fn test_spans_mark_functions_as_test() {
+        let src = "fn real() {}\nfn later() {}";
+        let p = parse_file(&lex(src).tokens, &[(2, 2)]);
+        assert!(!p.functions[0].is_test);
+        assert!(p.functions[1].is_test);
+    }
+}

@@ -1,42 +1,83 @@
 //! The rule set: identifiers, scopes and the trace/counter contract.
 //!
-//! Rules are numbered after the invariants they defend (see DESIGN.md §9):
+//! Rules are numbered after the invariants they defend (DESIGN.md §9/§14):
 //!
 //! | id                   | invariant                                        |
 //! |----------------------|--------------------------------------------------|
 //! | `determinism`        | R1 — bitwise serial/parallel + seeded replay     |
-//! | `no-panic`           | R2 — hostile wire/disk bytes never abort         |
 //! | `counter-accounting` | R3 — every `TraceKind` has a live counter        |
 //! | `forbid-unsafe`      | R4 — `#![forbid(unsafe_code)]` in every crate    |
 //! | `metric-accounting`  | R5 — every `MetricId` is exported and recorded   |
+//! | `panic-reachability` | R6 — nothing reachable from untrusted input aborts |
+//! | `float-reduction`    | R7 — float reductions only in the kernel seam    |
+//! | `rng-stream`         | R8 — RNGs derive from the seeded root, no aliasing |
+//! | `env-read`           | R9 — env reads only at the sanctioned config sites |
 //!
-//! Two meta-rules police the suppression mechanism itself:
-//! `bad-suppression` (malformed `allow` directive) and `unused-suppression`
-//! (an `allow` that silenced nothing).
+//! R6 supersedes the old per-file `no-panic` (R2): instead of a
+//! hardcoded file list, the call graph decides what untrusted input can
+//! reach. Three meta-rules police the suppression mechanism itself:
+//! `bad-suppression` (malformed `allow`), `unused-suppression` (an
+//! `allow` that silenced nothing) and `suppression-budget` (more
+//! suppressions of one rule than its reviewed budget).
 
 /// Rule id for R1 (determinism).
 pub const RULE_DETERMINISM: &str = "determinism";
-/// Rule id for R2 (panic-freedom on untrusted input).
-pub const RULE_NO_PANIC: &str = "no-panic";
 /// Rule id for R3 (trace/counter accounting).
 pub const RULE_COUNTER: &str = "counter-accounting";
 /// Rule id for R4 (unsafe ban).
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 /// Rule id for R5 (telemetry metric accounting).
 pub const RULE_METRIC: &str = "metric-accounting";
+/// Rule id for R6 (interprocedural panic-freedom on untrusted input).
+/// Supersedes the old file-scoped `no-panic` rule.
+pub const RULE_PANIC_REACH: &str = "panic-reachability";
+/// Rule id for R7 (float-reduction discipline).
+pub const RULE_FLOAT_REDUCTION: &str = "float-reduction";
+/// Rule id for R8 (RNG-stream discipline).
+pub const RULE_RNG_STREAM: &str = "rng-stream";
+/// Rule id for R9 (env-read discipline).
+pub const RULE_ENV_READ: &str = "env-read";
 /// Meta-rule: a suppression directive that could not be parsed.
 pub const RULE_BAD_SUPPRESSION: &str = "bad-suppression";
 /// Meta-rule: a suppression directive that silenced no finding.
 pub const RULE_UNUSED_SUPPRESSION: &str = "unused-suppression";
+/// Meta-rule: a rule's per-rule suppression budget is exceeded.
+pub const RULE_SUPPRESSION_BUDGET: &str = "suppression-budget";
 
 /// All real (non-meta) rule ids, for directive validation.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 8] = [
     RULE_DETERMINISM,
-    RULE_NO_PANIC,
     RULE_COUNTER,
     RULE_FORBID_UNSAFE,
     RULE_METRIC,
+    RULE_PANIC_REACH,
+    RULE_FLOAT_REDUCTION,
+    RULE_RNG_STREAM,
+    RULE_ENV_READ,
 ];
+
+/// Per-rule suppression budgets (satellite of ISSUE 9): each `allow()`
+/// is a reviewed exception, and the review happens when the budget is
+/// raised here — not when the Nth directive quietly lands. Exceeding a
+/// budget is a `suppression-budget` finding.
+pub const SUPPRESSION_BUDGETS: [(&str, usize); 8] = [
+    (RULE_DETERMINISM, 2),
+    (RULE_COUNTER, 1),
+    (RULE_FORBID_UNSAFE, 1),
+    (RULE_METRIC, 1),
+    (RULE_PANIC_REACH, 4),
+    (RULE_FLOAT_REDUCTION, 2),
+    (RULE_RNG_STREAM, 2),
+    (RULE_ENV_READ, 1),
+];
+
+/// The budget for `rule`, defaulting to zero for unknown ids.
+pub fn suppression_budget(rule: &str) -> usize {
+    SUPPRESSION_BUDGETS
+        .iter()
+        .find(|(r, _)| *r == rule)
+        .map_or(0, |(_, n)| *n)
+}
 
 /// Crates whose `src/` trees must be deterministic (R1): no host clock,
 /// no unseeded RNG, no raw threads, no hash-order iteration. `stsl-parallel`
@@ -49,13 +90,48 @@ pub const R1_CRATE_DIRS: [&str; 5] = [
     "crates/telemetry/src/",
 ];
 
-/// Files that parse untrusted wire or on-disk bytes (R2): no `unwrap`,
-/// `expect`, panicking macro or slice indexing outside test code.
-pub const R2_FILES: [&str; 4] = [
+/// R6 entry files: every non-test function in these files handles bytes
+/// an attacker may control (wire decode, checkpoint/ring load, CIFAR
+/// parse, guard ingress, robust-aggregation payloads, membership
+/// lifecycle driven by client messages). Anything they transitively call
+/// inside [`R6_DOMAIN_DIRS`] must be panic-free.
+pub const R6_ENTRY_FILES: [&str; 6] = [
     "crates/split/src/protocol.rs",
     "crates/split/src/guard.rs",
     "crates/split/src/checkpoint.rs",
+    "crates/split/src/aggregate.rs",
+    "crates/split/src/membership.rs",
     "crates/data/src/cifar.rs",
+];
+
+/// The R6 reachability domain: call-graph nodes live here. `tensor` and
+/// `nn` are a deliberate boundary — their shape-contract panics are
+/// prevented at the boundary by validated construction (see DESIGN.md
+/// §14) and chasing edges into the kernels would flood the rule.
+pub const R6_DOMAIN_DIRS: [&str; 4] = [
+    "crates/split/src/",
+    "crates/simnet/src/",
+    "crates/telemetry/src/",
+    "crates/data/src/",
+];
+
+/// The sanctioned non-associative-reduction seam (R7): scalar and tensor
+/// reductions live in the kernel seam and the robust-aggregation
+/// combiners, where the bitwise-equivalence tests pin their order.
+pub const R7_SEAM: [&str; 2] = ["crates/tensor/src/ops/", "crates/split/src/aggregate.rs"];
+
+/// The one file allowed to construct an RNG from raw seed material (R8):
+/// the seeded root `rng_from_seed` and the `derive_seed` splitter.
+pub const R8_RNG_ROOT_FILE: &str = "crates/tensor/src/init.rs";
+
+/// Files sanctioned to read process environment variables (R9): the
+/// documented config/backend-selection sites. Everything else must take
+/// configuration as data.
+pub const R9_ENV_FILES: [&str; 4] = [
+    "crates/parallel/src/lib.rs",
+    "crates/tensor/src/backend.rs",
+    "crates/bench/src/lib.rs",
+    "crates/audit/src/main.rs",
 ];
 
 /// Where the `TraceKind` enum lives (R3 input).
@@ -144,25 +220,40 @@ pub const R1_BANNED_IDENTS: [(&str, &str); 4] = [
     ),
 ];
 
-/// Panicking macros banned in R2 scope (invoked as `name!`).
-pub const R2_BANNED_MACROS: [&str; 7] = [
-    "panic",
-    "unreachable",
-    "todo",
-    "unimplemented",
-    "assert",
-    "assert_eq",
-    "assert_ne",
-];
-
 /// Whether `path` (repo-relative, `/`-separated) is in R1 scope.
 pub fn in_r1_scope(path: &str) -> bool {
     R1_CRATE_DIRS.iter().any(|d| path.starts_with(d))
 }
 
-/// Whether `path` is one of the R2 untrusted-input files.
-pub fn in_r2_scope(path: &str) -> bool {
-    R2_FILES.contains(&path)
+/// Whether `path` is one of the R6 untrusted-input entry files.
+pub fn is_r6_entry(path: &str) -> bool {
+    R6_ENTRY_FILES.contains(&path)
+}
+
+/// Whether `path` is inside the R6 reachability domain.
+pub fn in_r6_domain(path: &str) -> bool {
+    R6_DOMAIN_DIRS.iter().any(|d| path.starts_with(d))
+}
+
+/// Whether `path` is inside the sanctioned reduction seam (R7-exempt).
+pub fn in_r7_seam(path: &str) -> bool {
+    R7_SEAM.iter().any(|s| path.starts_with(s) || path == *s)
+}
+
+/// Whether R7 applies to `path`: R1 scope minus the sanctioned seam.
+pub fn in_r7_scope(path: &str) -> bool {
+    in_r1_scope(path) && !in_r7_seam(path)
+}
+
+/// Whether R8 applies to `path`: R1 scope minus the RNG root file.
+pub fn in_r8_scope(path: &str) -> bool {
+    in_r1_scope(path) && path != R8_RNG_ROOT_FILE
+}
+
+/// Whether R9 applies to `path`: everywhere except the sanctioned
+/// config/backend-selection sites.
+pub fn in_r9_scope(path: &str) -> bool {
+    !R9_ENV_FILES.contains(&path)
 }
 
 /// Whether `path` is a crate root that must carry the unsafe ban (R4):
@@ -185,13 +276,39 @@ mod tests {
         assert!(!in_r1_scope("crates/parallel/src/lib.rs"));
         assert!(!in_r1_scope("crates/audit/src/engine.rs"));
 
-        assert!(in_r2_scope("crates/split/src/guard.rs"));
-        assert!(!in_r2_scope("crates/split/src/server.rs"));
+        assert!(is_r6_entry("crates/split/src/guard.rs"));
+        assert!(is_r6_entry("crates/split/src/aggregate.rs"));
+        assert!(is_r6_entry("crates/split/src/membership.rs"));
+        assert!(!is_r6_entry("crates/split/src/server.rs"));
+        assert!(in_r6_domain("crates/split/src/server.rs"));
+        assert!(!in_r6_domain("crates/tensor/src/tensor.rs"));
+
+        assert!(!in_r7_scope("crates/tensor/src/ops/gemm.rs"));
+        assert!(!in_r7_scope("crates/split/src/aggregate.rs"));
+        assert!(in_r7_scope("crates/split/src/guard.rs"));
+
+        assert!(in_r8_scope("crates/split/src/async_trainer.rs"));
+        assert!(!in_r8_scope("crates/tensor/src/init.rs"));
+
+        assert!(!in_r9_scope("crates/tensor/src/backend.rs"));
+        assert!(in_r9_scope("crates/split/src/server.rs"));
 
         assert!(in_r4_scope("src/lib.rs"));
         assert!(in_r4_scope("crates/audit/src/lib.rs"));
         assert!(!in_r4_scope("crates/split/src/guard.rs"));
         assert!(!in_r4_scope("shims/rand/src/lib.rs"));
+    }
+
+    #[test]
+    fn every_rule_has_a_budget_entry() {
+        for rule in RULE_IDS {
+            assert!(
+                SUPPRESSION_BUDGETS.iter().any(|(r, _)| *r == rule),
+                "rule {rule} has no suppression budget"
+            );
+        }
+        assert_eq!(suppression_budget(RULE_DETERMINISM), 2);
+        assert_eq!(suppression_budget("nonsense"), 0);
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Fixture: the same R6 violation as `r6_bad.rs`, silenced by a
+//! standalone suppression directive on the line above.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // stsl-audit: allow(panic-reachability, reason = "fixture exercising the standalone-directive path")
+    *bytes.first().unwrap()
+}

@@ -1,0 +1,7 @@
+//! Fixture: one R6 (panic-reachability) violation — an `unwrap()` in an
+//! untrusted-input entry file, so the entry function itself is the whole
+//! chain. Presented under a virtual entry path; never compiled.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    *bytes.first().unwrap()
+}

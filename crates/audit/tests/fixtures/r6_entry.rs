@@ -1,0 +1,7 @@
+//! Fixture: the entry half of the interprocedural R6 pair. The decode
+//! path is panic-free here — the abort lives two hops away in
+//! `r6_helper.rs`, and only the call graph can see it.
+
+pub fn decode_header(bytes: &[u8]) -> u8 {
+    crate::framing::first_byte(bytes)
+}

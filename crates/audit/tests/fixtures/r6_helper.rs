@@ -1,0 +1,7 @@
+//! Fixture: the helper half of the interprocedural R6 pair. On its own
+//! this file is unreachable and clean; paired with `r6_entry.rs` the
+//! indexing panic becomes reachable from untrusted input.
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    bytes[0]
+}

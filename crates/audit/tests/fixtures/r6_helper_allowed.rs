@@ -1,0 +1,8 @@
+//! Fixture: the interprocedural helper with the reachable panic
+//! suppressed at the panic site (the finding lands where the panic
+//! lives, not at the entry).
+
+pub fn first_byte(bytes: &[u8]) -> u8 {
+    // stsl-audit: allow(panic-reachability, reason = "fixture exercising suppression of an interprocedural finding")
+    bytes[0]
+}

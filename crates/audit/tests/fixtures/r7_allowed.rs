@@ -1,0 +1,7 @@
+//! Fixture: the same R7 violation as `r7_bad.rs`, silenced by a
+//! standalone suppression directive on the line above.
+
+pub fn total(xs: &[f32]) -> f32 {
+    // stsl-audit: allow(float-reduction, reason = "fixture exercising the suppression path")
+    xs.iter().sum::<f32>()
+}

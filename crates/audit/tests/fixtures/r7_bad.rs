@@ -1,0 +1,8 @@
+//! Fixture: one R7 (float-reduction) violation — a turbofished float
+//! sum outside the sanctioned kernel seam. The same bytes under a
+//! `crates/tensor/src/ops/` path are clean: the seam is part of the
+//! rule, not the content.
+
+pub fn total(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>()
+}

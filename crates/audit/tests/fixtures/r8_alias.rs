@@ -1,0 +1,9 @@
+//! Fixture: one R8 (rng-stream) aliasing violation — two RNGs built
+//! from the same seed expression walk the same stream. The second
+//! construction is the finding.
+
+pub fn aliased_pair(seed: u64) -> (StdRng, StdRng) {
+    let a = rng_from_seed(seed);
+    let b = rng_from_seed(seed);
+    (a, b)
+}

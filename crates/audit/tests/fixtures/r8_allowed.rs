@@ -1,0 +1,7 @@
+//! Fixture: the same R8 violation as `r8_bad.rs`, silenced by a
+//! standalone suppression directive on the line above.
+
+pub fn make_rng(seed: u64) -> rand::rngs::StdRng {
+    // stsl-audit: allow(rng-stream, reason = "fixture exercising the suppression path")
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

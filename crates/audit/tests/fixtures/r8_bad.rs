@@ -1,0 +1,6 @@
+//! Fixture: one R8 (rng-stream) violation — direct RNG construction
+//! outside the seeded root file.
+
+pub fn make_rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

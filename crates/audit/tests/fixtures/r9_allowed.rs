@@ -1,0 +1,7 @@
+//! Fixture: the same R9 violation as `r9_bad.rs`, silenced by a
+//! standalone suppression directive on the line above.
+
+pub fn backend_override() -> Option<String> {
+    // stsl-audit: allow(env-read, reason = "fixture exercising the suppression path")
+    std::env::var("STSL_FIXTURE_BACKEND").ok()
+}

@@ -7,7 +7,7 @@
 //! the experiment binaries use it; otherwise they fall back to
 //! [`crate::SyntheticCifar`] (see DESIGN.md §2).
 
-use crate::ImageDataset;
+use crate::{DatasetError, ImageDataset};
 use std::error::Error as StdError;
 use std::fmt;
 use std::fs;
@@ -49,6 +49,8 @@ pub enum CifarError {
         /// The label byte encountered.
         label: u8,
     },
+    /// Decoded records did not assemble into a valid dataset.
+    Dataset(DatasetError),
 }
 
 impl fmt::Display for CifarError {
@@ -63,6 +65,7 @@ impl fmt::Display for CifarError {
                 )
             }
             CifarError::BadLabel { label } => write!(f, "cifar label byte {} exceeds 9", label),
+            CifarError::Dataset(e) => write!(f, "cifar records form no dataset: {}", e),
         }
     }
 }
@@ -71,6 +74,7 @@ impl StdError for CifarError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             CifarError::Io(e) => Some(e),
+            CifarError::Dataset(e) => Some(e),
             _ => None,
         }
     }
@@ -79,6 +83,12 @@ impl StdError for CifarError {
 impl From<std::io::Error> for CifarError {
     fn from(e: std::io::Error) -> Self {
         CifarError::Io(e)
+    }
+}
+
+impl From<DatasetError> for CifarError {
+    fn from(e: DatasetError) -> Self {
+        CifarError::Dataset(e)
     }
 }
 
@@ -115,11 +125,11 @@ pub fn parse_records(bytes: &[u8]) -> Result<ImageDataset, CifarError> {
         labels.push(label as usize);
         data.extend(pixels.iter().map(|&b| b as f32 / 255.0));
     }
-    Ok(ImageDataset::new(
+    Ok(ImageDataset::try_new(
         Tensor::from_vec(data, [n, 3, 32, 32]),
         labels,
         10,
-    ))
+    )?)
 }
 
 /// Loads one binary batch file (e.g. `data_batch_1.bin`).
@@ -153,7 +163,7 @@ pub fn load_dir(dir: impl AsRef<Path>) -> Result<(ImageDataset, ImageDataset), C
     for i in 1..=5 {
         parts.push(load_batch(dir.join(format!("data_batch_{}.bin", i)))?);
     }
-    let train = merge(&parts);
+    let train = merge(&parts)?;
     let test = load_batch(dir.join("test_batch.bin"))?;
     Ok((train, test))
 }
@@ -165,13 +175,13 @@ pub fn is_available(dir: impl AsRef<Path>) -> bool {
         && dir.join("test_batch.bin").is_file()
 }
 
-fn merge(parts: &[ImageDataset]) -> ImageDataset {
+fn merge(parts: &[ImageDataset]) -> Result<ImageDataset, CifarError> {
     let images = Tensor::concat0(&parts.iter().map(|p| p.images().clone()).collect::<Vec<_>>());
     let labels = parts
         .iter()
         .flat_map(|p| p.labels().iter().copied())
         .collect();
-    ImageDataset::new(images, labels, 10)
+    Ok(ImageDataset::try_new(images, labels, 10)?)
 }
 
 #[cfg(test)]

@@ -13,6 +13,54 @@ pub struct ChannelStats {
     pub std: Vec<f32>,
 }
 
+/// Why a tensor/label pair cannot form an [`ImageDataset`].
+///
+/// Surfaced (instead of a panic) so loaders fed untrusted bytes — the
+/// CIFAR reader — can propagate a typed error to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The image tensor is not rank 4 (`[n, c, h, w]`).
+    NotImages {
+        /// The offending rank.
+        rank: usize,
+    },
+    /// Image count and label count disagree.
+    LabelCount {
+        /// Images in the tensor.
+        images: usize,
+        /// Labels supplied.
+        labels: usize,
+    },
+    /// `num_classes` is zero.
+    NoClasses,
+    /// A label is `>= num_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        num_classes: usize,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::NotImages { rank } => {
+                write!(f, "images must be [n, c, h, w], got rank {rank}")
+            }
+            DatasetError::LabelCount { images, labels } => {
+                write!(f, "one label per image: {images} images, {labels} labels")
+            }
+            DatasetError::NoClasses => write!(f, "need at least one class"),
+            DatasetError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
 /// An in-memory labeled image dataset in `NCHW` layout.
 ///
 /// This is the unit that gets partitioned across end-systems: each
@@ -31,26 +79,49 @@ impl ImageDataset {
     ///
     /// # Panics
     ///
-    /// Panics if shapes disagree or a label is out of range.
+    /// Panics if shapes disagree or a label is out of range. Loaders of
+    /// untrusted bytes use [`ImageDataset::try_new`] instead.
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
-        assert_eq!(
-            images.rank(),
-            4,
-            "images must be [n, c, h, w], got {}",
-            images.shape()
-        );
-        assert_eq!(images.dim(0), labels.len(), "one label per image");
-        assert!(num_classes > 0, "need at least one class");
-        assert!(
-            labels.iter().all(|&l| l < num_classes),
-            "label out of range for {} classes",
-            num_classes
-        );
-        ImageDataset {
+        match Self::try_new(images, labels, num_classes) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates shapes and labels, returning a
+    /// [`DatasetError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-rank-4 images, image/label count mismatches, a zero
+    /// class count, and out-of-range labels.
+    pub fn try_new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if images.rank() != 4 {
+            return Err(DatasetError::NotImages {
+                rank: images.rank(),
+            });
+        }
+        if images.dim(0) != labels.len() {
+            return Err(DatasetError::LabelCount {
+                images: images.dim(0),
+                labels: labels.len(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(DatasetError::NoClasses);
+        }
+        if let Some(&label) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DatasetError::LabelOutOfRange { label, num_classes });
+        }
+        Ok(ImageDataset {
             images,
             labels,
             num_classes,
-        }
+        })
     }
 
     /// Number of samples.
@@ -220,9 +291,36 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "label out of range")]
+    #[should_panic(expected = "out of range")]
     fn construction_rejects_bad_labels() {
         ImageDataset::new(Tensor::zeros([1, 1, 2, 2]), vec![5], 2);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            ImageDataset::try_new(Tensor::zeros([2, 2]), vec![0, 0], 2),
+            Err(DatasetError::NotImages { rank: 2 })
+        );
+        assert_eq!(
+            ImageDataset::try_new(Tensor::zeros([2, 1, 2, 2]), vec![0], 2),
+            Err(DatasetError::LabelCount {
+                images: 2,
+                labels: 1
+            })
+        );
+        assert_eq!(
+            ImageDataset::try_new(Tensor::zeros([1, 1, 2, 2]), vec![0], 0),
+            Err(DatasetError::NoClasses)
+        );
+        assert_eq!(
+            ImageDataset::try_new(Tensor::zeros([1, 1, 2, 2]), vec![5], 2),
+            Err(DatasetError::LabelOutOfRange {
+                label: 5,
+                num_classes: 2
+            })
+        );
+        assert!(ImageDataset::try_new(Tensor::zeros([1, 1, 2, 2]), vec![1], 2).is_ok());
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod synthetic;
 
 pub use augment::{hflip, random_crop, standard_augment};
 pub use batching::BatchPlan;
-pub use dataset::{ChannelStats, ImageDataset};
+pub use dataset::{ChannelStats, DatasetError, ImageDataset};
 pub use kfold::KFold;
 pub use partition::{label_skew, Partition};
 pub use synthetic::{SyntheticCifar, CHANNELS, CLASS_NAMES, IMAGE_SIDE, NUM_CLASSES};

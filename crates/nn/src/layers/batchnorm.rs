@@ -65,22 +65,19 @@ impl BatchNorm2d {
         // order — and therefore every rounded f32 — is identical for any
         // thread count.
         let per_channel = par_map_indexed(c, ChunkPolicy::min_chunk(1), |ci| {
-            let mut acc = 0.0f64;
-            for ni in 0..n {
+            let planes = (0..n).map(|ni| {
                 let off = (ni * c + ci) * plane;
-                for &v in &src[off..off + plane] {
-                    acc += v as f64;
-                }
-            }
+                &src[off..off + plane]
+            });
+            let acc =
+                stsl_tensor::sum_f64(planes.clone().flat_map(|p| p.iter().map(|&v| v as f64)));
             let mean = (acc / count as f64) as f32;
-            let mut sq = 0.0f64;
-            for ni in 0..n {
-                let off = (ni * c + ci) * plane;
-                for &v in &src[off..off + plane] {
+            let sq = stsl_tensor::sum_f64(planes.flat_map(|p| {
+                p.iter().map(move |&v| {
                     let d = v - mean;
-                    sq += (d * d) as f64;
-                }
-            }
+                    (d * d) as f64
+                })
+            }));
             (mean, (sq / count as f64) as f32)
         });
         per_channel.into_iter().unzip()
@@ -178,15 +175,17 @@ impl Layer for BatchNorm2d {
         // as the serial sweep, so no reduction-order drift.
         let (sum_dy, sum_dy_xhat): (Vec<f32>, Vec<f32>) =
             par_map_indexed(c, ChunkPolicy::min_chunk(1), |ci| {
-                let mut dy = 0.0f32;
-                let mut dy_xhat = 0.0f32;
-                for ni in 0..n {
-                    let off = (ni * c + ci) * plane;
-                    for i in 0..plane {
-                        dy += g[off + i];
-                        dy_xhat += g[off + i] * xhat[off + i];
-                    }
-                }
+                let offs = (0..n).map(|ni| (ni * c + ci) * plane);
+                let dy = stsl_tensor::sum_f32(
+                    offs.clone()
+                        .flat_map(|off| g[off..off + plane].iter().copied()),
+                );
+                let dy_xhat = stsl_tensor::sum_f32(offs.flat_map(|off| {
+                    g[off..off + plane]
+                        .iter()
+                        .zip(&xhat[off..off + plane])
+                        .map(|(&gv, &xv)| gv * xv)
+                }));
                 (dy, dy_xhat)
             })
             .into_iter()

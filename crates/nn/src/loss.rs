@@ -45,13 +45,16 @@ impl Loss for SoftmaxCrossEntropy {
         assert_eq!(logits.rank(), 2, "cross-entropy expects [batch, classes]");
         let (n, c) = (logits.dim(0), logits.dim(1));
         assert_eq!(targets.len(), n, "one target per batch row");
-        let log_probs = logits.log_softmax_rows();
-        let mut value = 0.0;
-        for (r, &t) in targets.iter().enumerate() {
+        for &t in targets {
             assert!(t < c, "target {} out of range for {} classes", t, c);
-            value -= log_probs.at(&[r, t]);
         }
-        value /= n as f32;
+        let log_probs = logits.log_softmax_rows();
+        let value = -stsl_tensor::sum_f32(
+            targets
+                .iter()
+                .enumerate()
+                .map(|(r, &t)| log_probs.at(&[r, t])),
+        ) / n as f32;
         // grad = (softmax - onehot) / n
         let mut grad = logits.softmax_rows();
         {

@@ -249,11 +249,11 @@ impl Sequential {
     /// Mean squared gradient norm across all parameters (diagnostic for
     /// exploding/vanishing gradients in the split pipeline).
     pub fn grad_sq_norm(&mut self) -> f32 {
-        let mut acc = 0.0;
+        let mut per_param = Vec::new();
         for layer in &mut self.layers {
-            layer.visit_params(&mut |p: ParamView<'_>| acc += p.grad.sq_norm());
+            layer.visit_params(&mut |p: ParamView<'_>| per_param.push(p.grad.sq_norm()));
         }
-        acc
+        stsl_tensor::sum_f32(per_param)
     }
 }
 

@@ -15,8 +15,9 @@
 
 use crate::{EndSystemId, Link, SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
+use stsl_tensor::init::{derive_seed, rng_from_seed};
 
 /// What goes wrong during an episode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -390,7 +391,9 @@ impl FaultPlan {
             "intensity must be in [0, 1]"
         );
         assert!(horizon > SimDuration::ZERO, "horizon must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        // Stream 1 of the caller's seed: `random` and `churn` fed the
+        // same parent seed must not alias the same RNG stream.
+        let mut rng = rng_from_seed(derive_seed(seed, 1));
         let mut plan = FaultPlan::new();
         let h = horizon.as_micros();
         // Episodes last 5–20 % of the horizon.
@@ -455,7 +458,8 @@ impl FaultPlan {
             "turnover must be in [0, 1]"
         );
         assert!(horizon > SimDuration::ZERO, "horizon must be positive");
-        let mut rng = StdRng::seed_from_u64(seed);
+        // Stream 2: see `random`.
+        let mut rng = rng_from_seed(derive_seed(seed, 2));
         let mut plan = FaultPlan::new();
         let h = horizon.as_micros().max(10);
         for i in 0..members {
@@ -643,8 +647,11 @@ impl FaultPlan {
             faulted.loss = 1.0 - (1.0 - faulted.loss) * (1.0 - surge);
         }
         let base = faulted.transfer(bytes, rng)?;
-        let mut extra_ms = 0.0;
-        for e in &self.episodes {
+        // Summed via the sanctioned seam, in episode order with each
+        // episode contributing its base spike then its jitter draw —
+        // the same addend sequence as the old accumulation loop.
+        let extra_ms = stsl_tensor::sum_f64(self.episodes.iter().flat_map(|e| {
+            let mut parts = [None, None];
             if let FaultKind::LatencySpike {
                 client: c,
                 extra_ms: ms,
@@ -652,13 +659,14 @@ impl FaultPlan {
             } = e.kind
             {
                 if c == client && e.active_at(at) {
-                    extra_ms += ms;
+                    parts[0] = Some(ms);
                     if jitter_ms > 0.0 {
-                        extra_ms += rng.gen_range(0.0..jitter_ms);
+                        parts[1] = Some(rng.gen_range(0.0..jitter_ms));
                     }
                 }
             }
-        }
+            parts.into_iter().flatten()
+        }));
         Some(base + SimDuration::from_secs_f64(extra_ms / 1e3))
     }
 }
@@ -718,7 +726,7 @@ mod tests {
     fn outage_blocks_every_transfer() {
         let plan = FaultPlan::new().link_outage(EndSystemId(0), t(0), t(100));
         let link = Link::ideal();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = rng_from_seed(1);
         for _ in 0..20 {
             assert_eq!(
                 plan.transfer_through(&link, EndSystemId(0), 100, t(5), &mut rng),
@@ -734,7 +742,7 @@ mod tests {
     fn latency_spike_inflates_transfers() {
         let plan = FaultPlan::new().latency_spike(EndSystemId(0), 100.0, 0.0, t(0), t(100));
         let link = Link::wan(5.0, 100.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = rng_from_seed(2);
         let base = link.transfer(1000, &mut rng).unwrap();
         let spiked = plan
             .transfer_through(&link, EndSystemId(0), 1000, t(5), &mut rng)
@@ -964,14 +972,14 @@ mod tests {
         let original: Vec<u8> = (0u8..=255).collect();
         let mut a = original.clone();
         let mut b = original.clone();
-        corrupt_payload(&mut a, &mut StdRng::seed_from_u64(7));
-        corrupt_payload(&mut b, &mut StdRng::seed_from_u64(7));
+        corrupt_payload(&mut a, &mut rng_from_seed(7));
+        corrupt_payload(&mut b, &mut rng_from_seed(7));
         assert_eq!(a, b, "same seed, same damage");
 
         // Over many draws both damage shapes occur, and nearly every draw
         // visibly changes the buffer (an even number of flips landing on
         // the same bit can cancel, so "always" is not guaranteed).
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = rng_from_seed(1);
         let mut saw_truncation = false;
         let mut saw_flip = false;
         let mut damaged = 0;
@@ -991,7 +999,7 @@ mod tests {
         assert!(damaged >= 90, "only {damaged}/100 draws caused damage");
 
         let mut empty: Vec<u8> = Vec::new();
-        corrupt_payload(&mut empty, &mut StdRng::seed_from_u64(3));
+        corrupt_payload(&mut empty, &mut rng_from_seed(3));
         assert!(empty.is_empty());
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::{EndSystemId, EventQueue, LatencyStats, SimTime, StarTopology, TrafficCounter};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use stsl_telemetry::{JournalKind, MetricId, TelemetryHub};
+use stsl_tensor::init::rng_from_seed;
 
 /// Direction of a transfer in the star topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,9 +52,7 @@ impl<T> SimNetwork<T> {
     pub fn new(topology: StarTopology, seed: u64) -> Self {
         let n = topology.len();
         let rngs = (0..n)
-            .map(|i| {
-                StdRng::seed_from_u64(seed ^ (0x5851_F42D_4C95_7F2D_u64.wrapping_mul(i as u64 + 1)))
-            })
+            .map(|i| rng_from_seed(seed ^ (0x5851_F42D_4C95_7F2D_u64.wrapping_mul(i as u64 + 1))))
             .collect();
         SimNetwork {
             topology,

@@ -91,8 +91,52 @@ pub struct AggregationOutcome {
     pub trim_fraction_permille: u64,
 }
 
+/// Why a window cannot be combined. Surfaced as a typed error (instead
+/// of a panic) because the window is assembled from end-system traffic:
+/// a malformed cohort must not abort the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AggregateError {
+    /// The window holds no updates.
+    EmptyWindow,
+    /// Updates disagree on gradient length.
+    RaggedWindow {
+        /// Length of the first update.
+        expected: usize,
+        /// The disagreeing length.
+        got: usize,
+    },
+    /// A trimmed-mean fraction outside `[0, 0.5)`.
+    BadTrim {
+        /// The offending fraction.
+        trim: f32,
+    },
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::EmptyWindow => write!(f, "cannot combine an empty window"),
+            AggregateError::RaggedWindow { expected, got } => {
+                write!(
+                    f,
+                    "updates disagree on gradient length: {expected} vs {got}"
+                )
+            }
+            AggregateError::BadTrim { trim } => {
+                write!(f, "trim fraction must be in [0, 0.5), got {trim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
 fn column_sorted(updates: &[Vec<f32>], coord: usize) -> Vec<f32> {
-    let mut col: Vec<f32> = updates.iter().map(|u| u[coord]).collect();
+    let mut col: Vec<f32> = updates
+        .iter()
+        .filter_map(|u| u.get(coord))
+        .copied()
+        .collect();
     col.sort_by(f32::total_cmp);
     col
 }
@@ -106,13 +150,15 @@ fn mean_of(values: &[f32]) -> f32 {
 
 fn median_of_sorted(sorted: &[f32]) -> f32 {
     let n = sorted.len();
-    if n == 0 {
+    let Some(&mid) = sorted.get(n / 2) else {
         return 0.0;
-    }
+    };
     if n % 2 == 1 {
-        sorted[n / 2]
+        mid
     } else {
-        (sorted[n / 2 - 1] + sorted[n / 2]) * 0.5
+        // Even and non-empty, so n / 2 ≥ 1.
+        let lo = sorted.get(n / 2 - 1).copied().unwrap_or(mid);
+        (lo + mid) * 0.5
     }
 }
 
@@ -149,17 +195,27 @@ fn lex_cmp(a: &[f32], b: &[f32]) -> std::cmp::Ordering {
 /// column is sorted into a canonical order before reduction; Krum breaks
 /// score ties by lexicographic vector order).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `updates` is empty or the updates disagree on length.
-pub fn combine(policy: AggregationPolicy, updates: &[Vec<f32>]) -> AggregationOutcome {
+/// Rejects an empty window, updates that disagree on length, and a
+/// trimmed-mean fraction outside `[0, 0.5)` — the window is built from
+/// end-system traffic, so malformed cohorts surface as values, not
+/// aborts.
+pub fn combine(
+    policy: AggregationPolicy,
+    updates: &[Vec<f32>],
+) -> Result<AggregationOutcome, AggregateError> {
     let n = updates.len();
-    assert!(n > 0, "cannot combine an empty window");
-    let dim = updates[0].len();
-    assert!(
-        updates.iter().all(|u| u.len() == dim),
-        "updates disagree on gradient length"
-    );
+    let Some(first) = updates.first() else {
+        return Err(AggregateError::EmptyWindow);
+    };
+    let dim = first.len();
+    if let Some(bad) = updates.iter().find(|u| u.len() != dim) {
+        return Err(AggregateError::RaggedWindow {
+            expected: dim,
+            got: bad.len(),
+        });
+    }
     let (combined, trimmed) = match policy {
         AggregationPolicy::Mean => {
             let c = (0..dim)
@@ -175,15 +231,14 @@ pub fn combine(policy: AggregationPolicy, updates: &[Vec<f32>]) -> AggregationOu
             (c, n - kept)
         }
         AggregationPolicy::TrimmedMean { trim } => {
-            assert!(
-                (0.0..0.5).contains(&trim),
-                "trim fraction must be in [0, 0.5)"
-            );
+            if !(0.0..0.5).contains(&trim) {
+                return Err(AggregateError::BadTrim { trim });
+            }
             let k = ((trim * n as f32).floor() as usize).min(n.saturating_sub(1) / 2);
             let c = (0..dim)
                 .map(|j| {
                     let col = column_sorted(updates, j);
-                    mean_of(&col[k..n - k])
+                    mean_of(col.get(k..n - k).unwrap_or(&[]))
                 })
                 .collect();
             (c, 2 * k)
@@ -217,26 +272,30 @@ pub fn combine(policy: AggregationPolicy, updates: &[Vec<f32>]) -> AggregationOu
             // n − f − 2 best-scored updates and average them. Score ties
             // break by lexicographic vector order so selection is
             // permutation invariant.
-            let neighbours = n.saturating_sub(assumed_attackers + 2).max(1).min(n - 1);
+            let neighbours = n
+                .saturating_sub(assumed_attackers + 2)
+                .max(1)
+                .min(n.saturating_sub(1));
             let selection = n.saturating_sub(assumed_attackers + 2).max(1);
-            let mut scored: Vec<(f64, usize)> = (0..n)
-                .map(|i| {
-                    let mut dists: Vec<f64> = (0..n)
-                        .filter(|&j| j != i)
-                        .map(|j| sq_distance(&updates[i], &updates[j]))
+            let mut scored: Vec<(f64, &Vec<f32>)> = updates
+                .iter()
+                .enumerate()
+                .map(|(i, ui)| {
+                    let mut dists: Vec<f64> = updates
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, uj)| sq_distance(ui, uj))
                         .collect();
                     dists.sort_by(|a, b| a.total_cmp(b));
-                    (dists.iter().take(neighbours).sum(), i)
+                    (dists.iter().take(neighbours).sum(), ui)
                 })
                 .collect();
-            scored.sort_by(|(sa, ia), (sb, ib)| {
-                sa.total_cmp(sb)
-                    .then_with(|| lex_cmp(&updates[*ia], &updates[*ib]))
-            });
+            scored.sort_by(|(sa, ua), (sb, ub)| sa.total_cmp(sb).then_with(|| lex_cmp(ua, ub)));
             let selected: Vec<Vec<f32>> = scored
                 .iter()
                 .take(selection)
-                .map(|(_, i)| updates[*i].clone())
+                .map(|(_, u)| (*u).clone())
                 .collect();
             let c = (0..dim)
                 .map(|j| mean_of(&column_sorted(&selected, j)))
@@ -244,12 +303,12 @@ pub fn combine(policy: AggregationPolicy, updates: &[Vec<f32>]) -> AggregationOu
             (c, n - selection)
         }
     };
-    AggregationOutcome {
+    Ok(AggregationOutcome {
         combined,
         contributors: n,
         trimmed,
         trim_fraction_permille: (trimmed as u64 * 1000) / n as u64,
-    }
+    })
 }
 
 /// Flags updates whose L2 distance from `combined` exceeds `factor`
@@ -310,12 +369,11 @@ pub struct RobustAggregator {
 
 impl RobustAggregator {
     /// Creates an aggregator combining every `window` buffered updates.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `window == 0`.
+    /// A zero `window` is clamped to 1 (combine on every update); window
+    /// size can originate in run configuration, so it is sanitized, not
+    /// asserted.
     pub fn new(policy: AggregationPolicy, window: usize) -> Self {
-        assert!(window > 0, "aggregation window must be at least 1");
+        let window = window.max(1);
         RobustAggregator {
             policy,
             window,
@@ -326,13 +384,12 @@ impl RobustAggregator {
     }
 
     /// Overrides the outlier-flagging factor (default 3× the median
-    /// distance from the combined gradient).
+    /// distance from the combined gradient). Non-finite or non-positive
+    /// factors are ignored, keeping the previous value.
     pub fn outlier_factor(mut self, factor: f32) -> Self {
-        assert!(
-            factor.is_finite() && factor > 0.0,
-            "outlier factor must be finite and positive"
-        );
-        self.outlier_factor = factor;
+        if factor.is_finite() && factor > 0.0 {
+            self.outlier_factor = factor;
+        }
         self
     }
 
@@ -363,14 +420,10 @@ impl RobustAggregator {
     /// exiling an attacker does not slow the optimizer cadence: a window
     /// waiting on updates that can never arrive starves the model).
     /// Takes effect on the next [`RobustAggregator::push`]; a buffer
-    /// already at or past a shrunken window fires on that push.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `window == 0`.
+    /// already at or past a shrunken window fires on that push. A zero
+    /// `window` is clamped to 1.
     pub fn set_window(&mut self, window: usize) {
-        assert!(window > 0, "aggregation window must be at least 1");
-        self.window = window;
+        self.window = window.max(1);
     }
 
     /// Currently buffered (not yet combined) updates.
@@ -388,7 +441,13 @@ impl RobustAggregator {
         }
         let window: Vec<(usize, Vec<f32>)> = std::mem::take(&mut self.buffer);
         let updates: Vec<Vec<f32>> = window.iter().map(|(_, u)| u.clone()).collect();
-        let mut outcome = combine(self.policy, &updates);
+        // A window that cannot be combined (ragged lengths slipped past
+        // upstream validation, or an unusable trim fraction) is dropped
+        // whole rather than aborting the server; the next window starts
+        // from an empty buffer.
+        let Ok(mut outcome) = combine(self.policy, &updates) else {
+            return None;
+        };
         let flags = outlier_flags(&updates, &outcome.combined, self.outlier_factor);
         // Two-pass refine (when enabled): the first combine bounds the
         // damage any single update can do, which makes it a sound
@@ -409,9 +468,8 @@ impl RobustAggregator {
                 .filter(|(_, &f)| !f)
                 .map(|(u, _)| u.clone())
                 .collect();
-            if !kept.is_empty() {
+            if let Ok(refined) = combine(self.policy, &kept) {
                 let excluded = updates.len() - kept.len();
-                let refined = combine(self.policy, &kept);
                 outcome = AggregationOutcome {
                     combined: refined.combined,
                     contributors: updates.len(),
@@ -469,7 +527,7 @@ mod tests {
     #[test]
     fn mean_matches_arithmetic_mean() {
         let u = w(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
-        let out = combine(AggregationPolicy::Mean, &u);
+        let out = combine(AggregationPolicy::Mean, &u).unwrap();
         assert_eq!(out.combined, vec![3.0, 4.0]);
         assert_eq!(out.trimmed, 0);
         assert_eq!(out.trim_fraction_permille, 0);
@@ -478,7 +536,7 @@ mod tests {
     #[test]
     fn median_ignores_one_wild_update() {
         let u = w(&[&[1.0], &[2.0], &[1000.0]]);
-        let out = combine(AggregationPolicy::CoordinateMedian, &u);
+        let out = combine(AggregationPolicy::CoordinateMedian, &u).unwrap();
         assert_eq!(out.combined, vec![2.0]);
         assert_eq!(out.trimmed, 2);
     }
@@ -486,7 +544,7 @@ mod tests {
     #[test]
     fn trimmed_mean_drops_extremes() {
         let u = w(&[&[0.0], &[1.0], &[2.0], &[3.0], &[1000.0]]);
-        let out = combine(AggregationPolicy::TrimmedMean { trim: 0.2 }, &u);
+        let out = combine(AggregationPolicy::TrimmedMean { trim: 0.2 }, &u).unwrap();
         assert_eq!(out.combined, vec![2.0]);
         assert_eq!(out.trimmed, 2);
         assert_eq!(out.trim_fraction_permille, 400);
@@ -495,15 +553,15 @@ mod tests {
     #[test]
     fn trim_zero_is_exactly_mean() {
         let u = w(&[&[1.5, -2.0], &[0.25, 8.0], &[-3.75, 1.0]]);
-        let a = combine(AggregationPolicy::TrimmedMean { trim: 0.0 }, &u);
-        let b = combine(AggregationPolicy::Mean, &u);
+        let a = combine(AggregationPolicy::TrimmedMean { trim: 0.0 }, &u).unwrap();
+        let b = combine(AggregationPolicy::Mean, &u).unwrap();
         assert_eq!(a.combined, b.combined);
     }
 
     #[test]
     fn norm_clipping_caps_a_boosted_update() {
         let u = w(&[&[1.0, 0.0], &[0.0, 1.0], &[100.0, 0.0]]);
-        let out = combine(AggregationPolicy::NormClippedMean, &u);
+        let out = combine(AggregationPolicy::NormClippedMean, &u).unwrap();
         assert_eq!(out.trimmed, 1);
         // The boosted update is rescaled to norm 1, so no coordinate of
         // the mean can exceed (1 + 0 + 1)/3.
@@ -526,7 +584,8 @@ mod tests {
                 assumed_attackers: 1,
             },
             &u,
-        );
+        )
+        .unwrap();
         // n = 5, f = 1 → the 2 best-scored updates are averaged; the
         // attacker is far from every cluster member, so the combined
         // gradient stays inside the honest coordinate-wise range.
@@ -564,8 +623,8 @@ mod tests {
                 assumed_attackers: 1,
             },
         ] {
-            let a = combine(policy, &u);
-            let b = combine(policy, &perm);
+            let a = combine(policy, &u).unwrap();
+            let b = combine(policy, &perm).unwrap();
             assert_eq!(a.combined, b.combined, "policy {:?}", policy);
         }
     }
@@ -573,7 +632,9 @@ mod tests {
     #[test]
     fn outlier_flags_catch_the_distant_update() {
         let u = w(&[&[1.0, 1.0], &[1.1, 0.9], &[0.9, 1.0], &[-30.0, 25.0]]);
-        let c = combine(AggregationPolicy::CoordinateMedian, &u).combined;
+        let c = combine(AggregationPolicy::CoordinateMedian, &u)
+            .unwrap()
+            .combined;
         let flags = outlier_flags(&u, &c, 3.0);
         assert_eq!(flags, vec![false, false, false, true]);
     }
@@ -635,14 +696,42 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty window")]
-    fn combine_rejects_empty_window() {
-        combine(AggregationPolicy::Mean, &[]);
+    fn combine_rejects_malformed_windows() {
+        assert_eq!(
+            combine(AggregationPolicy::Mean, &[]),
+            Err(AggregateError::EmptyWindow)
+        );
+        let ragged = w(&[&[1.0, 2.0], &[3.0]]);
+        assert_eq!(
+            combine(AggregationPolicy::Mean, &ragged),
+            Err(AggregateError::RaggedWindow {
+                expected: 2,
+                got: 1
+            })
+        );
+        let u = w(&[&[1.0], &[2.0]]);
+        assert_eq!(
+            combine(AggregationPolicy::TrimmedMean { trim: 0.5 }, &u),
+            Err(AggregateError::BadTrim { trim: 0.5 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "aggregation window")]
-    fn zero_window_rejected() {
-        RobustAggregator::new(AggregationPolicy::Mean, 0);
+    fn zero_window_clamps_to_one() {
+        let mut agg = RobustAggregator::new(AggregationPolicy::Mean, 0);
+        assert_eq!(agg.window(), 1);
+        // Every push fires a window of one.
+        assert!(agg.push(0, vec![2.0]).is_some());
+        agg.set_window(0);
+        assert_eq!(agg.window(), 1);
+    }
+
+    #[test]
+    fn invalid_outlier_factor_keeps_previous() {
+        let agg = RobustAggregator::new(AggregationPolicy::Mean, 2)
+            .outlier_factor(5.0)
+            .outlier_factor(f32::NAN)
+            .outlier_factor(-1.0);
+        assert_eq!(agg.outlier_factor, 5.0);
     }
 }

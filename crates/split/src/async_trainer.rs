@@ -1166,7 +1166,7 @@ impl AsyncSplitTrainer {
                 .map(|c| server.evaluate_with_encoder(test, batch, |x| c.encode(x)))
                 .collect()
         };
-        let final_accuracy = per.iter().sum::<f32>() / per.len().max(1) as f32;
+        let final_accuracy = stsl_tensor::mean_f32(&per);
         // The defense headline: accuracy over the fleet the server still
         // serves. An exiled attacker's own encoder trained against
         // poisoned activations — it is attacker-owned damage no
@@ -1182,7 +1182,7 @@ impl AsyncSplitTrainer {
         let active_accuracy = if active.is_empty() {
             final_accuracy
         } else {
-            active.iter().sum::<f32>() / active.len() as f32
+            stsl_tensor::mean_f32(&active)
         };
         let report = AsyncReport {
             policy: self.policy.to_string(),

@@ -109,7 +109,7 @@ impl CheckpointRing {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        // stsl-audit: allow(no-panic, reason = "constructor precondition on a compile-time-chosen capacity; a zero-capacity ring is a programming error, not a runtime condition")
+        // stsl-audit: allow(panic-reachability, reason = "constructor precondition on a compile-time-chosen capacity; a zero-capacity ring is a programming error, not a runtime condition")
         assert!(capacity > 0, "checkpoint ring capacity must be positive");
         CheckpointRing {
             capacity,

@@ -98,23 +98,16 @@ impl std::error::Error for Anomaly {}
 /// Root-mean-square of a tensor, accumulated in f64 so huge f32 values do
 /// not overflow the sum before the comparison happens.
 pub fn tensor_rms(t: &Tensor) -> f32 {
-    let mut sumsq = 0.0f64;
-    for &v in t.as_slice() {
-        sumsq += (v as f64) * (v as f64);
-    }
+    let sumsq = stsl_tensor::sum_sq_f64(t.as_slice());
     (sumsq / t.len().max(1) as f64).sqrt() as f32
 }
 
-/// Single-pass ingress check: every element finite, RMS below `max_rms`.
+/// Ingress check: every element finite, RMS below `max_rms`.
 pub fn validate_update(t: &Tensor, max_rms: f32) -> Result<(), Anomaly> {
-    let mut sumsq = 0.0f64;
-    for &v in t.as_slice() {
-        if !v.is_finite() {
-            return Err(Anomaly::NonFinite);
-        }
-        sumsq += (v as f64) * (v as f64);
+    if t.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(Anomaly::NonFinite);
     }
-    let rms = (sumsq / t.len().max(1) as f64).sqrt() as f32;
+    let rms = tensor_rms(t);
     if rms > max_rms {
         return Err(Anomaly::NormExplosion {
             rms,

@@ -61,7 +61,8 @@ mod ushaped;
 mod walltime;
 
 pub use aggregate::{
-    combine, outlier_flags, AggregationOutcome, AggregationPolicy, RobustAggregator, RobustApply,
+    combine, outlier_flags, AggregateError, AggregationOutcome, AggregationPolicy,
+    RobustAggregator, RobustApply,
 };
 pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
 pub use checkpoint::{Checkpoint, CheckpointRing, RingLoad};

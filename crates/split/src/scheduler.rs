@@ -241,7 +241,8 @@ impl ArrivalQueue {
         if self.depth_samples.is_empty() {
             return 0.0;
         }
-        self.depth_samples.iter().map(|&d| d as f64).sum::<f64>() / self.depth_samples.len() as f64
+        stsl_tensor::sum_f64(self.depth_samples.iter().map(|&d| d as f64))
+            / self.depth_samples.len() as f64
     }
 
     /// Maximum observed queue depth.
@@ -278,21 +279,15 @@ impl ArrivalQueue {
         if n == 0.0 {
             return 0.0;
         }
-        let mean = self
-            .served_per_client
-            .iter()
-            .map(|&c| c as f64)
-            .sum::<f64>()
-            / n;
+        let mean = stsl_tensor::sum_f64(self.served_per_client.iter().map(|&c| c as f64)) / n;
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self
-            .served_per_client
-            .iter()
-            .map(|&c| (c as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = stsl_tensor::sum_f64(
+            self.served_per_client
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2)),
+        ) / n;
         var.sqrt() / mean
     }
 }

@@ -63,11 +63,8 @@ impl CentralServer {
     /// [`crate::aggregate::outlier_flags`]), and `refine` enables the
     /// two-pass outlier-exclusion recombine
     /// ([`RobustAggregator::refine_outliers`] — the trainer sets it when
-    /// the integrity guard is on).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `window == 0` or `outlier_factor` is non-positive.
+    /// the integrity guard is on). A zero `window` is clamped to 1 and a
+    /// non-finite or non-positive `outlier_factor` keeps the default.
     pub fn enable_robust_aggregation(
         &mut self,
         policy: AggregationPolicy,
@@ -91,11 +88,7 @@ impl CentralServer {
     /// off). The trainer calls this as senders enter and leave
     /// quarantine so the window tracks the active cohort — a window
     /// waiting on updates from exiled senders would slow the optimizer
-    /// cadence for everyone else.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `window == 0`.
+    /// cadence for everyone else. A zero `window` is clamped to 1.
     pub fn set_robust_window(&mut self, window: usize) {
         if let Some(agg) = self.robust.as_mut() {
             agg.set_window(window);

@@ -338,7 +338,7 @@ impl SpatioTemporalTrainer {
     /// plus the shared server).
     pub fn evaluate(&mut self, test: &ImageDataset) -> f32 {
         let per = self.evaluate_per_client(test);
-        per.iter().sum::<f32>() / per.len().max(1) as f32
+        stsl_tensor::mean_f32(&per)
     }
 
     /// Runs the full configured training, evaluating after every epoch.
@@ -375,8 +375,7 @@ impl SpatioTemporalTrainer {
             }
         }
         let per_client_accuracy = self.evaluate_per_client(test);
-        let final_accuracy =
-            per_client_accuracy.iter().sum::<f32>() / per_client_accuracy.len().max(1) as f32;
+        let final_accuracy = stsl_tensor::mean_f32(&per_client_accuracy);
         TrainReport {
             label: self.config.cut.label(),
             end_systems: self.config.end_systems,

@@ -193,7 +193,8 @@ impl UShapedTrainer {
     /// Mean test accuracy across clients.
     pub fn evaluate(&mut self, test: &ImageDataset) -> f32 {
         let n = self.clients.len();
-        (0..n).map(|i| self.evaluate_client(i, test)).sum::<f32>() / n.max(1) as f32
+        let per: Vec<f32> = (0..n).map(|i| self.evaluate_client(i, test)).collect();
+        stsl_tensor::mean_f32(&per)
     }
 
     /// Runs the configured training and reports like the other trainers.
@@ -215,8 +216,7 @@ impl UShapedTrainer {
         let per_client_accuracy: Vec<f32> = (0..self.clients.len())
             .map(|i| self.evaluate_client(i, test))
             .collect();
-        let final_accuracy =
-            per_client_accuracy.iter().sum::<f32>() / per_client_accuracy.len().max(1) as f32;
+        let final_accuracy = stsl_tensor::mean_f32(&per_client_accuracy);
         TrainReport {
             label: format!("u-shaped {}", self.config.cut.label()),
             end_systems: self.config.end_systems,

@@ -37,5 +37,6 @@ mod tensor;
 
 pub use backend::{with_backend, Backend};
 pub use error::TensorError;
+pub use ops::reduce::{mean_f32, sum_f32, sum_f64, sum_sq_f64};
 pub use shape::Shape;
 pub use tensor::Tensor;

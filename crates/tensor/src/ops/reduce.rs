@@ -14,6 +14,44 @@ use stsl_parallel::{par_chunks_mut, ChunkPolicy};
 /// Minimum row elements worth handing a softmax row band to a thread.
 const SOFTMAX_GRAIN: usize = 1 << 12;
 
+/// Order-pinned left-fold sum of an `f32` stream.
+///
+/// This module is the sanctioned seam for non-associative float
+/// reductions (the audit's float-reduction rule forbids ad-hoc `f32`/
+/// `f64` accumulation elsewhere): accumulation order here is the
+/// iterator's order, pinned by construction, so results are bitwise
+/// reproducible for a given input sequence.
+pub fn sum_f32(values: impl IntoIterator<Item = f32>) -> f32 {
+    let mut acc = 0.0f32;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Mean of a slice via [`sum_f32`]; `0.0` on an empty slice.
+pub fn mean_f32(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    sum_f32(values.iter().copied()) / values.len() as f32
+}
+
+/// Order-pinned left-fold sum of an `f64` stream (see [`sum_f32`]).
+pub fn sum_f64(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0f64;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Sum of squares of an `f32` slice, accumulated in `f64` so large
+/// values do not overflow the partial sums (the ingress-guard RMS path).
+pub fn sum_sq_f64(values: &[f32]) -> f64 {
+    sum_f64(values.iter().map(|&v| (v as f64) * (v as f64)))
+}
+
 /// Fixed-size element blocks for the lane-parallel full-tensor sum; block
 /// boundaries depend only on the length, never the thread count, so the
 /// combined sum is bitwise thread-invariant.

@@ -191,8 +191,8 @@ proptest! {
         let mut perm = u.clone();
         perm.rotate_left(rot % n);
         if n >= 2 { perm.swap(0, n - 1); }
-        let a = combine(policy, &u);
-        let b = combine(policy, &perm);
+        let a = combine(policy, &u).unwrap();
+        let b = combine(policy, &perm).unwrap();
         prop_assert_eq!(a.combined, b.combined);
         prop_assert_eq!(a.trimmed, b.trimmed);
     }
@@ -205,8 +205,8 @@ proptest! {
         n in 1usize..8, dim in 1usize..6, seed in 0u64..500
     ) {
         let u = random_window(n, dim, seed);
-        let a = combine(AggregationPolicy::TrimmedMean { trim: 0.0 }, &u);
-        let b = combine(AggregationPolicy::Mean, &u);
+        let a = combine(AggregationPolicy::TrimmedMean { trim: 0.0 }, &u).unwrap();
+        let b = combine(AggregationPolicy::Mean, &u).unwrap();
         prop_assert_eq!(a.combined, b.combined);
     }
 
@@ -238,7 +238,7 @@ proptest! {
             AggregationPolicy::CoordinateMedian,
             AggregationPolicy::TrimmedMean { trim },
         ] {
-            let out = combine(policy, &window);
+            let out = combine(policy, &window).unwrap();
             for j in 0..dim {
                 let lo = honest.iter().map(|h| h[j]).fold(f32::INFINITY, f32::min);
                 let hi = honest.iter().map(|h| h[j]).fold(f32::NEG_INFINITY, f32::max);
