@@ -764,7 +764,7 @@ fn collect_counter_state(
     }
     if file.path == REPORT_FILE {
         let mut fields = BTreeMap::new();
-        for name in ["AsyncReport", "CommReport"] {
+        for name in ["AsyncReport", "CommReport", "FleetReport"] {
             if let Some((line, parsed)) = parse_struct_fields(tokens, name) {
                 if name == "AsyncReport" {
                     state.saw_report = true;
@@ -922,7 +922,7 @@ fn check_counters(state: &CounterState, findings: &mut Vec<Finding>) {
                 RULE_COUNTER,
                 format!(
                     "TraceKind::{variant} maps to counter `{counter}`, which is missing \
-                     from AsyncReport/CommReport"
+                     from AsyncReport/CommReport/FleetReport"
                 ),
             )),
             Some(field_line) => {

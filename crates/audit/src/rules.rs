@@ -127,9 +127,10 @@ pub const R8_RNG_ROOT_FILE: &str = "crates/tensor/src/init.rs";
 /// Files sanctioned to read process environment variables (R9): the
 /// documented config/backend-selection sites. Everything else must take
 /// configuration as data.
-pub const R9_ENV_FILES: [&str; 4] = [
+pub const R9_ENV_FILES: [&str; 5] = [
     "crates/parallel/src/lib.rs",
     "crates/tensor/src/backend.rs",
+    "crates/simnet/src/event.rs",
     "crates/bench/src/lib.rs",
     "crates/audit/src/main.rs",
 ];
@@ -145,7 +146,7 @@ pub const REPORT_FILE: &str = "crates/split/src/report.rs";
 /// code is a `counter-accounting` finding — adding a trace kind forces the
 /// author to add (and emit) its counter, or extend this table in the same
 /// PR, where a reviewer sees both sides.
-pub const TRACE_COUNTERS: [(&str, &str); 29] = [
+pub const TRACE_COUNTERS: [(&str, &str); 30] = [
     ("Arrival", "uplink_messages"),
     ("ServiceStart", "served_per_client"),
     ("GradientDelivered", "downlink_messages"),
@@ -175,6 +176,7 @@ pub const TRACE_COUNTERS: [(&str, &str); 29] = [
     ("AttackInjected", "attacks_injected"),
     ("RobustApply", "robust_applies"),
     ("RobustOutlier", "robust_outliers"),
+    ("CohortStep", "cohort_steps"),
 ];
 
 /// Where the `MetricId` enum and the snapshot exporter live (R5 input).
@@ -186,7 +188,7 @@ pub const METRIC_FILE: &str = "crates/telemetry/src/registry.rs";
 /// therefore from every exported snapshot), or a variant never recorded in
 /// non-test code outside the registry is a `metric-accounting` finding —
 /// the same emission/liveness discipline R3 applies to trace counters.
-pub const METRIC_IDS: [(&str, &str); 9] = [
+pub const METRIC_IDS: [(&str, &str); 10] = [
     ("UplinkLatency", "uplink_latency_us"),
     ("DownlinkLatency", "downlink_latency_us"),
     ("QueueDepth", "queue_depth"),
@@ -196,6 +198,7 @@ pub const METRIC_IDS: [(&str, &str); 9] = [
     ("ShedRate", "shed_rate"),
     ("RejectedUpdateRate", "rejected_update_rate"),
     ("TrimFraction", "trim_fraction"),
+    ("CohortSize", "cohort_size"),
 ];
 
 /// Identifiers banned outright in R1 scope, with the finding message.
@@ -291,6 +294,7 @@ mod tests {
         assert!(!in_r8_scope("crates/tensor/src/init.rs"));
 
         assert!(!in_r9_scope("crates/tensor/src/backend.rs"));
+        assert!(!in_r9_scope("crates/simnet/src/event.rs"));
         assert!(in_r9_scope("crates/split/src/server.rs"));
 
         assert!(in_r4_scope("src/lib.rs"));

@@ -32,11 +32,13 @@ pub fn emit_all(sink: &mut Vec<TraceKind>) {
     sink.push(TraceKind::AttackInjected);
     sink.push(TraceKind::RobustApply);
     sink.push(TraceKind::RobustOutlier);
+    sink.push(TraceKind::CohortStep);
 }
 
-pub fn read_all(r: &AsyncReport, c: &CommReport) -> u64 {
+pub fn read_all(r: &AsyncReport, c: &CommReport, f: &FleetReport) -> u64 {
     c.uplink_messages
         + c.downlink_messages
+        + f.cohort_steps
         + r.served_per_client.len() as u64
         + r.scheduler_drops
         + r.network_drops

@@ -1,6 +1,7 @@
 //! Fixture: report structs carrying every counter the accounting table
-//! maps. The uplink/downlink message counters live in `CommReport` to
-//! exercise the merged two-struct lookup. Never compiled.
+//! maps. The uplink/downlink message counters live in `CommReport` and
+//! the cohort-step counter in `FleetReport` to exercise the merged
+//! multi-struct lookup. Never compiled.
 
 pub struct AsyncReport {
     pub served_per_client: Vec<u64>,
@@ -35,4 +36,8 @@ pub struct AsyncReport {
 pub struct CommReport {
     pub uplink_messages: u64,
     pub downlink_messages: u64,
+}
+
+pub struct FleetReport {
+    pub cohort_steps: u64,
 }

@@ -35,3 +35,7 @@ pub struct CommReport {
     pub uplink_messages: u64,
     pub downlink_messages: u64,
 }
+
+pub struct FleetReport {
+    pub cohort_steps: u64,
+}

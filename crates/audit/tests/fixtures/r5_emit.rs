@@ -11,4 +11,5 @@ pub fn record_all(hub: &mut TelemetryHub) {
     hub.record(MetricId::ShedRate, 0, 1);
     hub.record(MetricId::RejectedUpdateRate, 0, 1);
     hub.record(MetricId::TrimFraction, 0, 1);
+    hub.record(MetricId::CohortSize, 0, 1);
 }

@@ -11,6 +11,7 @@ pub enum MetricId {
     ShedRate,
     RejectedUpdateRate,
     TrimFraction,
+    CohortSize,
 }
 
 impl MetricId {
@@ -25,6 +26,7 @@ impl MetricId {
             MetricId::ShedRate => "shed_rate",
             MetricId::RejectedUpdateRate => "rejected_update_rate",
             MetricId::TrimFraction => "trim_fraction",
+            MetricId::CohortSize => "cohort_size",
         }
     }
 }

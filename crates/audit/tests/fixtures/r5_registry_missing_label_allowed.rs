@@ -12,6 +12,7 @@ pub enum MetricId {
     ShedRate,
     RejectedUpdateRate,
     TrimFraction,
+    CohortSize,
 }
 
 impl MetricId {
@@ -26,6 +27,7 @@ impl MetricId {
             MetricId::ShedRate => "shed_rate",
             MetricId::RejectedUpdateRate => "rejected_update_rate",
             MetricId::TrimFraction => "trim_fraction",
+            MetricId::CohortSize => "cohort_size",
         }
     }
 }

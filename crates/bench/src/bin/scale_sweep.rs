@@ -13,7 +13,7 @@
 //! ```
 
 use serde::Serialize;
-use stsl_bench::{load_data, render_table, write_results, Args};
+use stsl_bench::{crossval_fleet_report, load_data, render_table, write_results, Args};
 use stsl_simnet::{Link, StarTopology};
 use stsl_split::{
     AsyncSplitTrainer, CnnArch, ComputeModel, CutPoint, SchedulingPolicy, SpatioTemporalTrainer,
@@ -29,12 +29,28 @@ struct Row {
     uplink_mb: f64,
 }
 
+/// The 64-end-system row that goes through the cohort-sharded fleet path
+/// instead of per-client replicas — the same `FleetConfig::crossval64()`
+/// run that `fleet_sweep` records, so the two result files overlap on
+/// this point (E16 cross-validation).
+#[derive(Serialize)]
+struct FleetRow {
+    end_systems: usize,
+    cohorts: usize,
+    final_accuracy: f32,
+    sim_seconds: f64,
+    events_per_sim_sec: f64,
+    mean_queue_depth: f64,
+    cohort_steps: u64,
+}
+
 #[derive(Serialize)]
 struct ScaleSweep {
     data_source: String,
     cut: usize,
     train_samples: usize,
     rows: Vec<Row>,
+    fleet_row: FleetRow,
 }
 
 fn main() {
@@ -130,6 +146,28 @@ fn main() {
          Accuracy stays near-flat because every batch still trains the one shared server model."
     );
 
+    // Past the per-client-replica ceiling: 64 end-systems through the
+    // cohort-sharded fleet path (identical run to fleet_sweep's 64 row).
+    let fr = crossval_fleet_report();
+    println!(
+        "\n  N=64 (cohort path, K={}) accuracy {:.1}%  sim time {:.2}s  \
+         mean depth {:.2}  {:.0} ev/sim-s",
+        fr.cohorts,
+        fr.final_accuracy * 100.0,
+        fr.sim_seconds,
+        fr.mean_queue_depth,
+        fr.events_per_sim_sec
+    );
+    let fleet_row = FleetRow {
+        end_systems: fr.clients,
+        cohorts: fr.cohorts,
+        final_accuracy: fr.final_accuracy,
+        sim_seconds: fr.sim_seconds,
+        events_per_sim_sec: fr.events_per_sim_sec,
+        mean_queue_depth: fr.mean_queue_depth,
+        cohort_steps: fr.cohort_steps,
+    };
+
     write_results(
         "scale",
         "scale_sweep",
@@ -139,6 +177,7 @@ fn main() {
             cut,
             train_samples: train.len(),
             rows,
+            fleet_row,
         },
     );
 }

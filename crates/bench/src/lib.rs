@@ -205,6 +205,26 @@ pub fn load_data(
     (train, test, "synthetic")
 }
 
+/// The fixed dataset both `scale_sweep` and `fleet_sweep` use for their
+/// shared 64-client cohort-path row (E16's cross-validation point).
+/// Always synthetic (side 16 never hits the CIFAR path), so the
+/// overlapping row is byte-comparable across machines and environments.
+pub fn crossval_fleet_data() -> (ImageDataset, ImageDataset) {
+    let seed = stsl_split::FleetConfig::crossval64().seed;
+    let (train, test, _) = load_data(320, 120, 16, seed, 0.12);
+    (train, test)
+}
+
+/// Runs the shared 64-client / 4-cohort fleet configuration on the
+/// shared dataset — the exact computation whose results must agree
+/// between `results/scale.json` and `results/fleet.json`.
+pub fn crossval_fleet_report() -> stsl_split::FleetReport {
+    let (train, test) = crossval_fleet_data();
+    let mut fleet = stsl_split::FleetTrainer::new(stsl_split::FleetConfig::crossval64(), &train)
+        .expect("crossval64 config is valid");
+    fleet.run(&test)
+}
+
 /// Renders a markdown table with padded columns.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
 mod event;
 mod fault;
 mod link;
@@ -39,7 +40,7 @@ mod time;
 mod topology;
 mod trace;
 
-pub use event::EventQueue;
+pub use event::{with_queue_kind, EventQueue, QueueKind};
 pub use fault::{corrupt_payload, AttackSpec, FaultEpisode, FaultKind, FaultPlan};
 pub use link::{LatencyModel, Link};
 pub use network::{Delivery, Direction, SimNetwork};

@@ -2,45 +2,91 @@
 
 use crate::SimDuration;
 
+/// Upper bound on retained quantile samples. Below this every
+/// observation is kept and quantiles are exact; beyond it the reservoir
+/// decimates deterministically (see [`LatencyStats::record`]) so a
+/// 100k-client fleet run holds a bounded sample set per stats instance
+/// instead of one row per delivery.
+const SAMPLE_CAP: usize = 65_536;
+
 /// An online accumulator of transfer-latency observations with quantiles.
 ///
-/// Stores all observations (experiments here are small); quantiles are
-/// exact.
+/// `count`, `mean`, and `max` are exact over every observation (integer
+/// running aggregates). Quantiles are exact up to a fixed sample cap,
+/// then computed over a deterministic systematic subsample: when the
+/// reservoir fills, every other retained sample is dropped and the
+/// keep-stride doubles, so memory stays O(1) in the observation count
+/// and two identical runs retain identical samples.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
     samples_us: Vec<u64>,
     sorted: bool,
+    /// Total observations ever recorded (not just retained).
+    total: u64,
+    /// Exact running sum of all observations, for the mean.
+    sum_us: u128,
+    /// Exact running maximum of all observations.
+    max_us: u64,
+    /// Keep one sample per `stride` observations; powers of two.
+    stride: u64,
 }
 
 impl LatencyStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        LatencyStats::default()
+        LatencyStats {
+            stride: 1,
+            ..LatencyStats::default()
+        }
     }
 
     /// Records one observation.
     pub fn record(&mut self, d: SimDuration) {
-        self.samples_us.push(d.as_micros());
-        self.sorted = false;
+        let v = d.as_micros();
+        if self.total.is_multiple_of(self.stride.max(1)) {
+            self.samples_us.push(v);
+            self.sorted = false;
+            if self.samples_us.len() >= SAMPLE_CAP {
+                // Halve the reservoir and double the stride. Which
+                // elements survive depends only on the record sequence,
+                // so the subsample is reproducible across runs.
+                let mut keep_odd = false;
+                self.samples_us.retain(|_| {
+                    keep_odd = !keep_odd;
+                    keep_odd
+                });
+                self.stride = self.stride.max(1) * 2;
+            }
+        }
+        self.total += 1;
+        self.sum_us += v as u128;
+        self.max_us = self.max_us.max(v);
     }
 
-    /// Number of observations.
+    /// Number of observations recorded.
     pub fn count(&self) -> usize {
+        self.total as usize
+    }
+
+    /// Number of samples currently retained for quantile estimation
+    /// (equals [`Self::count`] until the decimation cap is reached).
+    pub fn retained(&self) -> usize {
         self.samples_us.len()
     }
 
-    /// Mean latency, or `None` if empty.
+    /// Mean latency (exact over all observations), or `None` if empty.
     pub fn mean(&self) -> Option<SimDuration> {
-        if self.samples_us.is_empty() {
+        if self.total == 0 {
             return None;
         }
-        let sum: u128 = self.samples_us.iter().map(|&v| v as u128).sum();
         Some(SimDuration::from_micros(
-            (sum / self.samples_us.len() as u128) as u64,
+            (self.sum_us / self.total as u128) as u64,
         ))
     }
 
-    /// Exact quantile `q ∈ [0, 1]` (nearest-rank), or `None` if empty.
+    /// Quantile `q ∈ [0, 1]` (nearest-rank), or `None` if empty. Exact
+    /// while all observations are retained; a systematic-subsample
+    /// estimate past the cap.
     ///
     /// # Panics
     ///
@@ -58,12 +104,13 @@ impl LatencyStats {
         Some(SimDuration::from_micros(self.samples_us[rank]))
     }
 
-    /// Maximum observation, or `None` if empty.
+    /// Maximum observation (exact over all observations), or `None` if
+    /// empty.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples_us
-            .iter()
-            .max()
-            .map(|&v| SimDuration::from_micros(v))
+        if self.total == 0 {
+            return None;
+        }
+        Some(SimDuration::from_micros(self.max_us))
     }
 }
 
@@ -117,6 +164,7 @@ mod tests {
             s.record(SimDuration::from_millis(ms));
         }
         assert_eq!(s.count(), 5);
+        assert_eq!(s.retained(), 5);
         assert_eq!(s.mean().unwrap().as_millis(), 3);
         assert_eq!(s.quantile(0.0).unwrap().as_millis(), 1);
         assert_eq!(s.quantile(0.5).unwrap().as_millis(), 3);
@@ -139,6 +187,40 @@ mod tests {
         assert_eq!(s.quantile(1.0).unwrap().as_millis(), 10);
         s.record(SimDuration::from_millis(1));
         assert_eq!(s.quantile(0.0).unwrap().as_millis(), 1);
+    }
+
+    #[test]
+    fn decimation_bounds_memory_and_keeps_aggregates_exact() {
+        let mut s = LatencyStats::new();
+        let n: u64 = 200_000;
+        for i in 0..n {
+            s.record(SimDuration::from_micros(i + 1));
+        }
+        assert_eq!(s.count(), n as usize);
+        assert!(s.retained() < SAMPLE_CAP, "reservoir must stay bounded");
+        // Exact aggregates survive decimation.
+        assert_eq!(s.mean().unwrap().as_micros(), n.div_ceil(2));
+        assert_eq!(s.max().unwrap().as_micros(), n);
+        // The subsampled median of a uniform ramp stays near the middle.
+        let med = s.quantile(0.5).unwrap().as_micros();
+        assert!(
+            med.abs_diff(n / 2) < n / 50,
+            "median {med} too far from {}",
+            n / 2
+        );
+    }
+
+    #[test]
+    fn decimation_is_deterministic() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        for i in 0..150_000u64 {
+            let v = SimDuration::from_micros((i * 31) % 9973);
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a.retained(), b.retained());
+        assert_eq!(a.quantile(0.9), b.quantile(0.9));
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub enum TraceKind {
     RobustApply,
     /// The robust aggregator flagged a sender as a statistical outlier.
     RobustOutlier,
+    /// A cohort model replica completed one real training step on behalf
+    /// of its sharded end-systems (fleet path).
+    CohortStep,
 }
 
 /// One traced event.

@@ -48,6 +48,7 @@ pub mod baselines;
 mod checkpoint;
 mod client;
 mod config;
+mod fleet;
 mod guard;
 mod membership;
 mod model;
@@ -68,17 +69,18 @@ pub use async_trainer::{AsyncSplitTrainer, ComputeModel};
 pub use checkpoint::{Checkpoint, CheckpointRing, RingLoad};
 pub use client::{EndSystem, ProtocolError};
 pub use config::{DeadlineConfig, OptimizerKind, OverloadConfig, PartitionKind, SplitConfig};
+pub use fleet::{FleetConfig, FleetJob, FleetTrainer};
 pub use guard::{
     tensor_rms, validate_update, Anomaly, GuardConfig, HealthWatchdog, QuarantineStatus,
     QuarantineTracker,
 };
 pub use membership::{Membership, MembershipError, MembershipState, QuorumLost};
 pub use model::{CnnArch, CutPoint, PoolKind, LAYERS_PER_BLOCK};
-pub use report::{AsyncReport, CommReport, EpochStats, TrainReport};
+pub use report::{AsyncReport, CommReport, EpochStats, FleetReport, TrainReport};
 pub use resilience::{
     BreakerConfig, BreakerDecision, CircuitBreaker, LivenessTracker, RetryPolicy,
 };
-pub use scheduler::{ArrivalQueue, QueuedJob, SchedulingPolicy, TokenBucket};
+pub use scheduler::{ArrivalJob, ArrivalQueue, QueuedJob, SchedulingPolicy, TokenBucket};
 pub use server::{CentralServer, ServerStepOutput};
 pub use trainer::{ConfigError, SpatioTemporalTrainer};
 pub use ushaped::UShapedTrainer;

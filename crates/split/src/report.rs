@@ -216,6 +216,56 @@ pub struct AsyncReport {
     pub comm: CommReport,
 }
 
+/// Result of a fleet-scale cohort-sharded simulation run (E16).
+///
+/// Every number here derives from simulated time and deterministic
+/// state, so the serialized report is byte-identical across
+/// `STSL_THREADS` values; wall-clock throughput is printed by the bench
+/// but never serialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Simulated end-systems.
+    pub clients: usize,
+    /// Cohort model replicas shared across those end-systems.
+    pub cohorts: usize,
+    /// Simulated seconds until the run drained.
+    pub sim_seconds: f64,
+    /// Discrete events processed by the simulation loop.
+    pub events_processed: u64,
+    /// Events per *simulated* second (deterministic throughput measure).
+    pub events_per_sim_sec: f64,
+    /// Uplink sends attempted by end-systems.
+    pub sends_attempted: u64,
+    /// Arrivals refused by per-end-system admission token buckets.
+    pub admission_rejected: u64,
+    /// Arrivals shed by the bounded ingress queue under overload.
+    pub shed: u64,
+    /// Arrivals the server actually consumed.
+    pub served: u64,
+    /// Real cohort-replica training steps driven by admitted arrivals.
+    pub cohort_steps: u64,
+    /// Mean arrival-queue depth over all arrivals.
+    pub mean_queue_depth: f64,
+    /// Maximum arrival-queue depth.
+    pub max_queue_depth: usize,
+    /// Mean queueing delay between arrival and service, milliseconds.
+    pub mean_staleness_ms: f64,
+    /// Final test accuracy, mean over cohort encoders.
+    pub final_accuracy: f32,
+    /// Final test accuracy per cohort encoder.
+    pub per_cohort_accuracy: Vec<f32>,
+    /// Bytes of model parameters held across all cohort replicas —
+    /// O(cohorts), independent of `clients`.
+    pub model_bytes: u64,
+    /// Bytes of per-end-system bookkeeping state (identity, admission
+    /// bucket, counters) — the O(N·small) term.
+    pub per_client_state_bytes: u64,
+    /// End-systems that departed mid-run.
+    pub departures: u64,
+    /// Telemetry snapshots emitted.
+    pub snapshots_emitted: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

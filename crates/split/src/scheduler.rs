@@ -43,20 +43,45 @@ impl std::fmt::Display for SchedulingPolicy {
     }
 }
 
-/// One queued activation batch with its arrival metadata.
-#[derive(Debug, Clone)]
-pub struct QueuedJob {
-    /// When the batch reached the server.
-    pub arrived_at: SimTime,
-    /// The activation payload.
-    pub msg: ActivationMsg,
+/// Anything the arrival queue can hold: the queue only needs to know
+/// which end-system sent a job (for round-robin fairness accounting and
+/// telemetry actor keys), so the fleet path can enqueue slim
+/// tensor-free job records while the trainers keep using full
+/// [`ActivationMsg`]s.
+pub trait ArrivalJob {
+    /// The end-system that sent this job.
+    fn sender(&self) -> stsl_simnet::EndSystemId;
 }
 
-/// The server's arrival queue.
+impl ArrivalJob for ActivationMsg {
+    fn sender(&self) -> stsl_simnet::EndSystemId {
+        self.from
+    }
+}
+
+/// One queued job with its arrival metadata.
+#[derive(Debug, Clone)]
+pub struct QueuedJob<J = ActivationMsg> {
+    /// When the job reached the server.
+    pub arrived_at: SimTime,
+    /// The queued payload.
+    pub msg: J,
+}
+
+/// Upper bound on retained depth samples. Below it the series is the
+/// complete per-arrival record (the churn bench relies on that); past it
+/// the series decimates deterministically — keep every other retained
+/// sample, double the keep-stride — so 100k-client fleets don't grow a
+/// row per arrival. Aggregates (`mean_depth`, `max_depth`, `mean_wait`)
+/// stay exact regardless: they use running integer accumulators.
+const DEPTH_SAMPLE_CAP: usize = 65_536;
+
+/// The server's arrival queue, generic over the queued payload
+/// (defaulting to the full activation message the trainers enqueue).
 #[derive(Debug)]
-pub struct ArrivalQueue {
+pub struct ArrivalQueue<J: ArrivalJob = ActivationMsg> {
     policy: SchedulingPolicy,
-    pending: VecDeque<QueuedJob>,
+    pending: VecDeque<QueuedJob<J>>,
     served_per_client: Vec<u64>,
     dropped: u64,
     /// Bounded-ingress capacity; `None` means unbounded (the legacy
@@ -65,10 +90,21 @@ pub struct ArrivalQueue {
     /// Batches shed by the bounded-ingress policy.
     shed: u64,
     depth_samples: Vec<usize>,
-    wait_samples: Vec<SimDuration>,
+    /// Keep one depth sample per `depth_stride` arrivals.
+    depth_stride: u64,
+    /// Total arrivals (depth observations) ever recorded.
+    depth_total: u64,
+    /// Exact running sum of post-insert depths.
+    depth_sum: u128,
+    /// Exact running maximum of post-insert depths.
+    depth_max: usize,
+    /// Exact running sum of served-batch queueing delays, µs.
+    wait_sum_us: u128,
+    /// Number of served batches contributing to `wait_sum_us`.
+    wait_count: u64,
 }
 
-impl ArrivalQueue {
+impl<J: ArrivalJob> ArrivalQueue<J> {
     /// Creates a queue for `end_systems` clients under `policy`.
     pub fn new(policy: SchedulingPolicy, end_systems: usize) -> Self {
         ArrivalQueue {
@@ -79,7 +115,12 @@ impl ArrivalQueue {
             capacity: None,
             shed: 0,
             depth_samples: Vec::new(),
-            wait_samples: Vec::new(),
+            depth_stride: 1,
+            depth_total: 0,
+            depth_sum: 0,
+            depth_max: 0,
+            wait_sum_us: 0,
+            wait_count: 0,
         }
     }
 
@@ -121,10 +162,30 @@ impl ArrivalQueue {
         self.dropped
     }
 
+    /// Records one post-insert depth observation: exact running
+    /// aggregates plus the bounded, stride-decimated raw series.
+    fn record_depth(&mut self) {
+        let d = self.pending.len();
+        if self.depth_total.is_multiple_of(self.depth_stride.max(1)) {
+            self.depth_samples.push(d);
+            if self.depth_samples.len() >= DEPTH_SAMPLE_CAP {
+                let mut keep_odd = false;
+                self.depth_samples.retain(|_| {
+                    keep_odd = !keep_odd;
+                    keep_odd
+                });
+                self.depth_stride = self.depth_stride.max(1) * 2;
+            }
+        }
+        self.depth_total += 1;
+        self.depth_sum += d as u128;
+        self.depth_max = self.depth_max.max(d);
+    }
+
     /// Enqueues an arrival, sampling the queue depth *after* insertion.
-    pub fn push(&mut self, arrived_at: SimTime, msg: ActivationMsg) {
+    pub fn push(&mut self, arrived_at: SimTime, msg: J) {
         self.pending.push_back(QueuedJob { arrived_at, msg });
-        self.depth_samples.push(self.pending.len());
+        self.record_depth();
     }
 
     /// [`ArrivalQueue::push`] that also records the post-insert queue
@@ -132,10 +193,10 @@ impl ArrivalQueue {
     pub fn push_observed(
         &mut self,
         arrived_at: SimTime,
-        msg: ActivationMsg,
+        msg: J,
         telemetry: Option<&mut TelemetryHub>,
     ) {
-        let actor = msg.from.0 as u64;
+        let actor = msg.sender().0 as u64;
         self.push(arrived_at, msg);
         if let Some(hub) = telemetry {
             hub.record(MetricId::QueueDepth, actor, self.pending.len() as u64);
@@ -148,7 +209,7 @@ impl ArrivalQueue {
     /// room, so the post-insert depth never exceeds the bound. The shed
     /// victims are returned so the trainer can notify their senders.
     /// Without a configured capacity this is exactly [`ArrivalQueue::push`].
-    pub fn push_shed(&mut self, arrived_at: SimTime, msg: ActivationMsg) -> Vec<ActivationMsg> {
+    pub fn push_shed(&mut self, arrived_at: SimTime, msg: J) -> Vec<J> {
         let mut victims = Vec::new();
         if let Some(cap) = self.capacity {
             while self.pending.len() >= cap {
@@ -166,10 +227,10 @@ impl ArrivalQueue {
     pub fn push_shed_observed(
         &mut self,
         arrived_at: SimTime,
-        msg: ActivationMsg,
+        msg: J,
         telemetry: Option<&mut TelemetryHub>,
-    ) -> Vec<ActivationMsg> {
-        let actor = msg.from.0 as u64;
+    ) -> Vec<J> {
+        let actor = msg.sender().0 as u64;
         let victims = self.push_shed(arrived_at, msg);
         if let Some(hub) = telemetry {
             hub.record(MetricId::QueueDepth, actor, self.pending.len() as u64);
@@ -183,7 +244,7 @@ impl ArrivalQueue {
     /// discarded (and counted) before selection; their originating clients
     /// are reported in the second tuple element so the trainer can notify
     /// them.
-    pub fn pop(&mut self, now: SimTime) -> (Option<QueuedJob>, Vec<ActivationMsg>) {
+    pub fn pop(&mut self, now: SimTime) -> (Option<QueuedJob<J>>, Vec<J>) {
         let mut discarded = Vec::new();
         if let SchedulingPolicy::StalenessDrop { max_age } = self.policy {
             while let Some(front) = self.pending.front() {
@@ -205,14 +266,15 @@ impl ArrivalQueue {
                     .pending
                     .iter()
                     .enumerate()
-                    .min_by_key(|(pos, job)| (self.served_per_client[job.msg.from.0], *pos))
+                    .min_by_key(|(pos, job)| (self.served_per_client[job.msg.sender().0], *pos))
                     .map(|(pos, _)| pos);
                 best.and_then(|pos| self.pending.remove(pos))
             }
         };
         if let Some(job) = &chosen {
-            self.served_per_client[job.msg.from.0] += 1;
-            self.wait_samples.push(now.since(job.arrived_at));
+            self.served_per_client[job.msg.sender().0] += 1;
+            self.wait_sum_us += now.since(job.arrived_at).as_micros() as u128;
+            self.wait_count += 1;
         }
         (chosen, discarded)
     }
@@ -224,46 +286,46 @@ impl ArrivalQueue {
         &mut self,
         now: SimTime,
         telemetry: Option<&mut TelemetryHub>,
-    ) -> (Option<QueuedJob>, Vec<ActivationMsg>) {
+    ) -> (Option<QueuedJob<J>>, Vec<J>) {
         let (chosen, discarded) = self.pop(now);
         if let (Some(hub), Some(job)) = (telemetry, &chosen) {
             hub.record(
                 MetricId::GradientStaleness,
-                job.msg.from.0 as u64,
+                job.msg.sender().0 as u64,
                 now.since(job.arrived_at).as_micros(),
             );
         }
         (chosen, discarded)
     }
 
-    /// Mean queue depth observed at arrival instants.
+    /// Mean queue depth observed at arrival instants (exact over every
+    /// arrival, independent of sample decimation).
     pub fn mean_depth(&self) -> f64 {
-        if self.depth_samples.is_empty() {
+        if self.depth_total == 0 {
             return 0.0;
         }
-        stsl_tensor::sum_f64(self.depth_samples.iter().map(|&d| d as f64))
-            / self.depth_samples.len() as f64
+        self.depth_sum as f64 / self.depth_total as f64
     }
 
-    /// Maximum observed queue depth.
+    /// Maximum observed queue depth (exact).
     pub fn max_depth(&self) -> usize {
-        self.depth_samples.iter().copied().max().unwrap_or(0)
+        self.depth_max
     }
 
-    /// Every post-insert depth sample, in arrival order — the raw series
-    /// the churn benchmark plots to show unbounded queue growth with
-    /// shedding off.
+    /// Post-insert depth samples, in arrival order — the raw series the
+    /// churn benchmark plots to show unbounded queue growth with
+    /// shedding off. Complete up to a fixed cap, then a deterministic
+    /// systematic subsample (every 2^k-th arrival).
     pub fn depth_samples(&self) -> &[usize] {
         &self.depth_samples
     }
 
-    /// Mean queueing delay of served batches.
+    /// Mean queueing delay of served batches (exact running average).
     pub fn mean_wait(&self) -> SimDuration {
-        if self.wait_samples.is_empty() {
+        if self.wait_count == 0 {
             return SimDuration::ZERO;
         }
-        let sum: u64 = self.wait_samples.iter().map(|d| d.as_micros()).sum();
-        SimDuration::from_micros(sum / self.wait_samples.len() as u64)
+        SimDuration::from_micros((self.wait_sum_us / self.wait_count as u128) as u64)
     }
 
     /// Served-batch counts per end-system.
@@ -553,7 +615,7 @@ mod tests {
 
     #[test]
     fn empty_pop_returns_none() {
-        let mut q = ArrivalQueue::new(SchedulingPolicy::RoundRobin, 1);
+        let mut q: ArrivalQueue = ArrivalQueue::new(SchedulingPolicy::RoundRobin, 1);
         let (job, discarded) = q.pop(t(0));
         assert!(job.is_none());
         assert!(discarded.is_empty());

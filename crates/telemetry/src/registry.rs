@@ -42,13 +42,17 @@ pub enum MetricId {
     /// permille of the window, recorded at each window apply (a ratio,
     /// not microseconds).
     TrimFraction,
+    /// Live end-systems sharing one cohort model replica, sampled per
+    /// cohort at each fleet snapshot (a count, not microseconds). Keyed
+    /// by cohort id, not end-system id, so fleet snapshots stay O(cohorts).
+    CohortSize,
 }
 
 impl MetricId {
     /// Every registered metric, in export order. `snapshot` iterates this
     /// array, so a variant missing here would silently vanish from every
     /// export — the audit's R5 rule exists to make that impossible.
-    pub const ALL: [MetricId; 9] = [
+    pub const ALL: [MetricId; 10] = [
         MetricId::UplinkLatency,
         MetricId::DownlinkLatency,
         MetricId::QueueDepth,
@@ -58,6 +62,7 @@ impl MetricId {
         MetricId::ShedRate,
         MetricId::RejectedUpdateRate,
         MetricId::TrimFraction,
+        MetricId::CohortSize,
     ];
 
     /// Stable snake_case label used in snapshot export.
@@ -72,6 +77,7 @@ impl MetricId {
             MetricId::ShedRate => "shed_rate",
             MetricId::RejectedUpdateRate => "rejected_update_rate",
             MetricId::TrimFraction => "trim_fraction",
+            MetricId::CohortSize => "cohort_size",
         }
     }
 }

@@ -1,0 +1,149 @@
+//! Calendar-queue / binary-heap equivalence — the contract of the
+//! `stsl-simnet` event-queue seam.
+//!
+//! The fleet subsystem swaps the reference `BinaryHeap` event queue for
+//! an O(log n)-amortized calendar queue, selected exactly like the
+//! numeric `Backend` (scope context → `STSL_QUEUE` → default). Unlike
+//! the numeric backends, the two queues must be **bitwise identical** in
+//! observable behavior: same `(time, seq)` pop order for every
+//! interleaving of schedules and pops, including same-timestamp bursts
+//! (where only the insertion sequence number breaks the tie) and
+//! far-future events that land outside the calendar's current lap.
+//!
+//! Three layers pin the contract: randomized queue-level interleavings
+//! (proptest), a four-end-system async training epoch whose event trace
+//! CSV must match byte-for-byte, and the fleet trainer's debug report.
+
+use proptest::prelude::*;
+use spatio_temporal_split_learning::data::SyntheticCifar;
+use spatio_temporal_split_learning::simnet::{
+    with_queue_kind, EventQueue, Link, QueueKind, SimTime, StarTopology,
+};
+use spatio_temporal_split_learning::split::{
+    AsyncSplitTrainer, ComputeModel, CutPoint, FleetConfig, FleetTrainer, SchedulingPolicy,
+    SplitConfig,
+};
+
+const BOTH: [QueueKind; 2] = [QueueKind::Reference, QueueKind::Calendar];
+
+/// Replays `ops` against a fresh queue of the given kind and returns the
+/// observable history: every pop's `(fire_time_us, payload)` plus the
+/// final drain order.
+fn replay(kind: QueueKind, ops: &[QueueOp]) -> Vec<(u64, u32)> {
+    let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+    let mut history = Vec::new();
+    let mut next_payload = 0u32;
+    for op in ops {
+        match *op {
+            QueueOp::Schedule(at_us) => {
+                q.schedule(SimTime::from_micros(at_us), next_payload);
+                next_payload += 1;
+            }
+            QueueOp::Pop => {
+                if let Some((t, p)) = q.pop() {
+                    history.push((t.as_micros(), p));
+                }
+            }
+        }
+    }
+    while let Some((t, p)) = q.pop() {
+        history.push((t.as_micros(), p));
+    }
+    history
+}
+
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    Schedule(u64),
+    Pop,
+}
+
+/// Strategy: a mixed script of schedules and pops. Timestamps cluster in
+/// a dense band (forcing same-bucket and same-timestamp collisions) with
+/// occasional far-future spikes (forcing the calendar's dry-lap
+/// global-minimum fallback) and many exact duplicates (tie-break purely
+/// on sequence number).
+fn ops_strategy() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec((0u64..100, 0u8..4), 1..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(t, sel)| match sel {
+                // Dense band with heavy duplicate timestamps.
+                0 => QueueOp::Schedule(t % 16),
+                1 => QueueOp::Schedule(t * 1_000),
+                // Far future: outside any initial calendar lap.
+                2 => QueueOp::Schedule(10_000_000 + t * 999_983),
+                _ => QueueOp::Pop,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn calendar_and_heap_pop_identically(ops in ops_strategy()) {
+        let reference = replay(QueueKind::Reference, &ops);
+        let calendar = replay(QueueKind::Calendar, &ops);
+        prop_assert_eq!(reference, calendar);
+    }
+}
+
+#[test]
+fn same_timestamp_burst_breaks_ties_by_sequence() {
+    // 1000 events on one timestamp: pop order must be insertion order
+    // for both kinds (seq is the only tie-break).
+    for kind in BOTH {
+        let mut q: EventQueue<u32> = EventQueue::with_kind(kind);
+        for i in 0..1000u32 {
+            q.schedule(SimTime::from_micros(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..1000).collect::<Vec<u32>>(), "kind {kind:?}");
+    }
+}
+
+#[test]
+fn four_client_async_trace_is_bitwise_identical_across_queue_kinds() {
+    let train = SyntheticCifar::new(5).generate_sized(96, 16);
+    let test = SyntheticCifar::new(6).generate_sized(24, 16);
+    let run = |kind: QueueKind| {
+        with_queue_kind(kind, || {
+            let cfg = SplitConfig::tiny(CutPoint(1), 4).epochs(1).seed(9);
+            let mut t = AsyncSplitTrainer::new(
+                cfg,
+                &train,
+                StarTopology::uniform(4, Link::wan(20.0, 100.0)),
+                SchedulingPolicy::RoundRobin,
+                ComputeModel::default(),
+            )
+            .expect("valid config");
+            t.enable_trace();
+            let report = t.run(&test);
+            let csv = t.trace().expect("trace enabled").to_csv();
+            (csv, format!("{report:?}"))
+        })
+    };
+    let (csv_ref, report_ref) = run(QueueKind::Reference);
+    let (csv_cal, report_cal) = run(QueueKind::Calendar);
+    assert_eq!(csv_ref, csv_cal, "trace CSV must match byte-for-byte");
+    assert_eq!(report_ref, report_cal);
+}
+
+#[test]
+fn fleet_report_is_identical_across_queue_kinds() {
+    let train = SyntheticCifar::new(3)
+        .difficulty(0.05)
+        .generate_sized(64, 16);
+    let test = SyntheticCifar::new(4)
+        .difficulty(0.05)
+        .generate_sized(16, 16);
+    let run = |kind: QueueKind| {
+        with_queue_kind(kind, || {
+            let mut fleet =
+                FleetTrainer::new(FleetConfig::smoke(50), &train).expect("smoke config is valid");
+            format!("{:?}", fleet.run(&test))
+        })
+    };
+    assert_eq!(run(QueueKind::Reference), run(QueueKind::Calendar));
+}
